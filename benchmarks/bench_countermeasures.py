@@ -1,0 +1,43 @@
+"""Ablation: the §8.1 countermeasures' costs and guarantees.
+
+Not a paper figure; DESIGN.md calls out the three sketched countermeasures
+and this bench quantifies the design points the paper argues qualitatively.
+"""
+
+import pytest
+
+from repro.mitigations import (
+    ClusteredActivationDecoder,
+    ComputeRegionPolicy,
+    PracConfig,
+    WeightedContributionPolicy,
+)
+
+
+def test_compute_region_refresh_overhead(benchmark):
+    policy = benchmark(ComputeRegionPolicy)
+    overhead = policy.refresh_overhead_fraction()
+    print(f"\ncompute-region refresh overhead: {overhead:.1%}")
+    assert overhead < 0.6
+    assert policy.storage_region_rdt_scale() >= 0.95
+
+
+def test_weighted_contribution_covers_measured_worst_cases(benchmark):
+    policy = benchmark(WeightedContributionPolicy)
+    observed = {"rowhammer": 4123, "comra": 447, "simra": 26}
+    assert policy.is_secure_against(observed)
+    equivalent = policy.equivalent_hammers(acts=0, comra_ops=0, simra_ops=20)
+    print(f"\n20 SiMRA ops count as {equivalent} hammers")
+    assert equivalent >= 4000
+
+
+def test_clustered_decoder_eliminates_double_sided(benchmark):
+    decoder = benchmark(ClusteredActivationDecoder)
+    assert decoder.eliminates_double_sided_simra()
+
+
+def test_prac_ao_latency_is_prohibitive(benchmark):
+    config = benchmark(PracConfig.ao_weighted)
+    latency = config.update_latency_ns(32)
+    print(f"\nPRAC-AO SiMRA-32 counter update: {latency:.0f} ns")
+    assert latency > 1_000.0  # ~1.5 us, §8.2

@@ -1,0 +1,14 @@
+"""Fig. 4: double-sided CoMRA vs RowHammer."""
+
+from conftest import run_and_print
+
+
+def test_fig04(benchmark, scale):
+    result = run_and_print(benchmark, "fig04", scale)
+    # paper: 13.98x / 1.18x / 3.28x / 1.58x minima reductions
+    assert 10.0 <= result.checks["min_reduction_SK Hynix"] <= 18.0
+    assert 1.0 <= result.checks["min_reduction_Micron"] <= 2.5
+    assert 2.3 <= result.checks["min_reduction_Samsung"] <= 4.5
+    assert 1.1 <= result.checks["min_reduction_Nanya"] <= 2.2
+    # paper: 99% of rows improve
+    assert result.checks["fraction_improved"] >= 0.85

@@ -1,0 +1,12 @@
+"""Fig. 5: CoMRA data-pattern sweep."""
+
+from conftest import run_and_print
+
+
+def test_fig05(benchmark, scale):
+    result = run_and_print(benchmark, "fig05", scale)
+    # paper Obs. 3: checkerboard generally the most effective pattern
+    checker_best = [
+        v for k, v in result.checks.items() if k.startswith("best_pattern_is_checker")
+    ]
+    assert checker_best and sum(checker_best) >= len(checker_best) - 1

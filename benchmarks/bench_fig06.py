@@ -1,0 +1,13 @@
+"""Fig. 6: CoMRA temperature sweep."""
+
+from conftest import run_and_print
+
+
+def test_fig06(benchmark, scale):
+    result = run_and_print(benchmark, "fig06", scale)
+    # paper Obs. 4: hotter is worse for SK Hynix/Samsung/Nanya...
+    assert result.checks["hc_ratio_50C_over_80C_SK Hynix"] > 1.2
+    assert result.checks["hc_ratio_50C_over_80C_Samsung"] > 1.1
+    assert result.checks["hc_ratio_50C_over_80C_Nanya"] > 1.0
+    # ...but Micron inverts (HC_first rises ~1.14x with temperature)
+    assert result.checks["hc_ratio_50C_over_80C_Micron"] < 1.0

@@ -1,0 +1,11 @@
+"""Fig. 7: single-sided CoMRA vs RowHammer vs far double-sided RowHammer."""
+
+from conftest import run_and_print
+
+
+def test_fig07(benchmark, scale):
+    result = run_and_print(benchmark, "fig07", scale)
+    # paper Obs. 5: single-sided CoMRA beats single-sided RowHammer
+    # (1.42x minima in SK Hynix) and tracks far double-sided RowHammer
+    assert result.checks["ss_comra_vs_ss_rh_SK Hynix"] > 1.1
+    assert 0.85 <= result.checks["ss_comra_vs_far_ds_SK Hynix"] <= 1.2

@@ -1,0 +1,13 @@
+"""Fig. 8: CoMRA vs RowPress across tAggOn."""
+
+from conftest import run_and_print
+
+
+def test_fig08(benchmark, scale):
+    result = run_and_print(benchmark, "fig08", scale)
+    # paper Obs. 6: 70.2us tAggOn lowers CoMRA's average HC_first ~78.7x
+    # and RowPress ~31.2x (Micron numbers; wide vendor bands here)
+    assert result.checks["comra_press_gain_Micron"] > 25.0
+    assert result.checks["rowpress_gain_Micron"] > 10.0
+    # paper Obs. 7: at tAggOn = tREFI RowPress overtakes CoMRA
+    assert result.checks["rowpress_beats_comra_at_trefi_Micron"] > 1.0

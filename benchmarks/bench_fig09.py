@@ -1,0 +1,12 @@
+"""Fig. 9: CoMRA PRE->ACT latency sweep."""
+
+from conftest import run_and_print
+
+
+def test_fig09(benchmark, scale):
+    result = run_and_print(benchmark, "fig09", scale)
+    # paper Obs. 8: HC_first rises 3.10x/1.18x/1.17x/3.01x at 12 ns
+    assert 2.0 <= result.checks["hc_increase_7p5_to_12_SK Hynix"] <= 4.5
+    assert 1.05 <= result.checks["hc_increase_7p5_to_12_Micron"] <= 1.5
+    assert 1.02 <= result.checks["hc_increase_7p5_to_12_Samsung"] <= 1.5
+    assert 2.0 <= result.checks["hc_increase_7p5_to_12_Nanya"] <= 4.5

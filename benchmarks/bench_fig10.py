@@ -1,0 +1,11 @@
+"""Fig. 10: copy-direction reversal."""
+
+from conftest import run_and_print
+
+
+def test_fig10(benchmark, scale):
+    result = run_and_print(benchmark, "fig10", scale)
+    # paper Obs. 9: typical change ~2.79% (double) / ~0.40% (single),
+    # with a rare large-asymmetry tail (up to 20.1x)
+    assert result.checks["median_abs_change_pct_double"] < 12.0
+    assert result.checks["median_abs_change_pct_single"] < 8.0

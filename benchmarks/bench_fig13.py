@@ -1,0 +1,12 @@
+"""Fig. 13: double-sided SiMRA vs RowHammer."""
+
+from conftest import run_and_print
+
+
+def test_fig13(benchmark, scale):
+    result = run_and_print(benchmark, "fig13", scale)
+    # paper Obs. 12: HC_first down to 26; enormous reduction vs RowHammer
+    assert 22 <= result.checks["lowest_simra_hc"] <= 40
+    assert result.checks["min_reduction_vs_rowhammer"] > 100
+    for count in (2, 4, 8, 16):
+        assert result.checks[f"fraction_improved_n{count}"] >= 0.8

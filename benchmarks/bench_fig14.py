@@ -1,0 +1,13 @@
+"""Fig. 14: SiMRA data-pattern sweep."""
+
+from conftest import run_and_print
+
+
+def test_fig14(benchmark, scale):
+    result = run_and_print(benchmark, "fig14", scale)
+    # paper Obs. 13: the wrong victim polarity raises average HC_first by
+    # up to 57.8x; every N shows a large penalty
+    for count in (2, 4, 8, 16):
+        key = f"victim00_penalty_n{count}"
+        if key in result.checks:
+            assert result.checks[key] > 4.0

@@ -1,0 +1,12 @@
+"""Fig. 15: SiMRA temperature sweep."""
+
+from conftest import run_and_print
+
+
+def test_fig15(benchmark, scale):
+    result = run_and_print(benchmark, "fig15", scale)
+    # paper Obs. 15: ~3.0-3.3x from 50 to 80 degC, for every N
+    for count in (2, 4, 8, 16):
+        key = f"hc_ratio_50C_over_80C_n{count}"
+        if key in result.checks:
+            assert 2.0 <= result.checks[key] <= 4.5

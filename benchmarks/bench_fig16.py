@@ -1,0 +1,13 @@
+"""Fig. 16: single-sided SiMRA vs single-sided RowHammer."""
+
+from conftest import run_and_print
+
+
+def test_fig16(benchmark, scale):
+    result = run_and_print(benchmark, "fig16", scale)
+    # paper Obs. 16-17: more rows -> lower HC_first; SiMRA-32 beats
+    # single-sided RowHammer
+    assert result.checks["ss_simra_32_vs_2_mean"] > 1.15
+    assert result.checks["mean_decreases_with_n"] == 1.0
+    if "ss_simra32_vs_ss_rh_min" in result.checks:
+        assert result.checks["ss_simra32_vs_ss_rh_min"] > 1.0

@@ -1,0 +1,12 @@
+"""Fig. 17: SiMRA vs RowPress across tAggOn."""
+
+from conftest import run_and_print
+
+
+def test_fig17(benchmark, scale):
+    result = run_and_print(benchmark, "fig17", scale)
+    # paper Obs. 18: 144.9x-270.3x average reduction at 70.2 us
+    for count in (2, 4, 8, 16):
+        key = f"press_gain_n{count}"
+        if key in result.checks:
+            assert result.checks[key] > 60.0

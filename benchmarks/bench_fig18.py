@@ -1,0 +1,11 @@
+"""Fig. 18: SiMRA timing-delay sweep."""
+
+from conftest import run_and_print
+
+
+def test_fig18(benchmark, scale):
+    result = run_and_print(benchmark, "fig18", scale)
+    # paper Obs. 19: longer PRE->ACT strengthens the attack (~1.23x)
+    assert 1.05 <= result.checks["preact_gain_1p5_to_4p5"] <= 1.6
+    # paper Obs. 20: 1.5 ns ACT->PRE partially activates rows (~2.28x)
+    assert result.checks["partial_activation_penalty"] > 1.3

@@ -1,0 +1,10 @@
+"""Fig. 19: SiMRA spatial variation."""
+
+from conftest import run_and_print
+
+
+def test_fig19(benchmark, scale):
+    result = run_and_print(benchmark, "fig19", scale)
+    # paper Obs. 21: region effects exist and differ per N
+    spans = [v for k, v in result.checks.items() if k.startswith("spatial_span")]
+    assert spans and max(spans) > 1.1

@@ -1,0 +1,11 @@
+"""Fig. 21: combined RowHammer + CoMRA."""
+
+from conftest import run_and_print
+
+
+def test_fig21(benchmark, scale):
+    result = run_and_print(benchmark, "fig21", scale)
+    # paper Obs. 22: 1.34x at 90% pre-hammer, 1.02x at 10%, most rows improve
+    assert 1.15 <= result.checks["mean_reduction_at_90pct"] <= 1.70
+    assert 0.99 <= result.checks["mean_reduction_at_10pct"] <= 1.15
+    assert result.checks["fraction_improved_at_90pct"] >= 0.85

@@ -1,0 +1,16 @@
+"""Fig. 22: combined RowHammer + SiMRA."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig22(benchmark, scale):
+    result = run_and_print(benchmark, "fig22", scale)
+    # paper Obs. 23: ~1.22x at 90%, less effective than RH+CoMRA
+    assert 1.05 <= result.checks["mean_reduction_at_90pct"] <= 1.55
+    comra = run_experiment("fig21", scale)
+    assert (
+        result.checks["mean_reduction_at_90pct"]
+        <= comra.checks["mean_reduction_at_90pct"] + 0.10
+    )

@@ -1,0 +1,16 @@
+"""Fig. 23: combined RowHammer + CoMRA + SiMRA."""
+
+from repro.experiments import run_experiment
+
+from conftest import run_and_print
+
+
+def test_fig23(benchmark, scale):
+    result = run_and_print(benchmark, "fig23", scale)
+    # paper Obs. 24: the most effective combination, ~1.66x
+    assert 1.35 <= result.checks["mean_reduction_at_90pct"] <= 2.2
+    single = run_experiment("fig21", scale)
+    assert (
+        result.checks["mean_reduction_at_90pct"]
+        >= single.checks["mean_reduction_at_90pct"]
+    )

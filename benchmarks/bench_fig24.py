@@ -1,0 +1,12 @@
+"""Fig. 24: TRR bypass."""
+
+from conftest import run_and_print
+
+
+def test_fig24(benchmark, scale):
+    result = run_and_print(benchmark, "fig24", scale)
+    # paper Obs. 25-26: TRR nearly eliminates RowHammer flips (99.89%)
+    # but barely dents SiMRA (15.62%); SiMRA >> RowHammer under TRR
+    assert result.checks["rowhammer_trr_reduction_pct"] >= 95.0
+    assert result.checks["simra_trr_reduction_pct"] <= 50.0
+    assert result.checks["simra_vs_rowhammer_with_trr"] > 50.0

@@ -1,0 +1,9 @@
+"""Table 1: tested chip population."""
+
+from conftest import run_and_print
+
+
+def test_table1(benchmark, scale):
+    result = run_and_print(benchmark, "table1", scale)
+    assert result.checks["total_chips"] == 316
+    assert result.checks["total_modules"] == 40

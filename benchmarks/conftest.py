@@ -1,0 +1,48 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures,
+prints the series the paper reports, and asserts the *shape* of the result
+(who wins, rough factors, crossovers) against the paper's numbers.
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
+``small`` (quick smoke), ``default``, or ``paper`` (hours).
+"""
+
+import os
+
+import pytest
+
+from repro import ExperimentScale
+from repro.experiments import run_experiment
+
+
+def bench_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    factory = {
+        "small": ExperimentScale.small,
+        "default": ExperimentScale.default,
+        "paper": ExperimentScale.paper,
+    }.get(name)
+    if factory is None:
+        raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r}")
+    return factory()
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+def run_and_print(benchmark, experiment_id, scale, **kwargs):
+    """Run one experiment under pytest-benchmark and print its series."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, scale),
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    result.print()
+    return result

@@ -1,0 +1,74 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list``                      -- show registered experiments
+* ``run <id> [--scale NAME]``   -- run one experiment and print its table
+* ``report [--scale NAME]``     -- run everything and emit a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.report import generate_report
+from .core.scale import ExperimentScale
+from .experiments import EXPERIMENTS, run_experiment
+
+_SCALES = {
+    "small": ExperimentScale.small,
+    "default": ExperimentScale.default,
+    "paper": ExperimentScale.paper,
+}
+
+
+def _scale_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="experiment scale preset (default: %(default)s)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PuDHammer reproduction harness"
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    subcommands.add_parser("list", help="list registered experiments")
+
+    run_parser = subcommands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    _scale_arg(run_parser)
+
+    report_parser = subcommands.add_parser(
+        "report", help="run experiments and print a markdown report"
+    )
+    report_parser.add_argument("experiment_ids", nargs="*", default=None)
+    _scale_arg(report_parser)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.experiment_id, _SCALES[args.scale]())
+        result.print()
+        return 0
+    if args.command == "report":
+        report = generate_report(
+            scale=_SCALES[args.scale](),
+            experiment_ids=args.experiment_ids or None,
+            stream=sys.stderr,
+        )
+        sys.stdout.write(report)
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Analysis helpers: markdown reports and randomness quality tests."""
+
+from .randomness import (
+    bits_from_bytes,
+    monobit_pvalue,
+    passes_basic_randomness,
+    runs_pvalue,
+)
+from .report import generate_report
+
+__all__ = [
+    "bits_from_bytes",
+    "generate_report",
+    "monobit_pvalue",
+    "passes_basic_randomness",
+    "runs_pvalue",
+]

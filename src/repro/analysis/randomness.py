@@ -1,0 +1,51 @@
+"""Lightweight randomness quality tests (for QUAC-TRNG output).
+
+Implements the two cheapest NIST SP 800-22 tests -- the frequency
+(monobit) test and the runs test -- which QUAC-TRNG's evaluation also
+leads with.  Both return p-values; >= 0.01 passes at NIST's default
+significance level.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def monobit_pvalue(bits: np.ndarray) -> float:
+    """Frequency test: are ones and zeros balanced?"""
+    bits = np.asarray(bits).astype(np.int8)
+    n = bits.size
+    if n == 0:
+        raise ValueError("empty bit sequence")
+    s = abs(int(bits.sum()) * 2 - n)
+    return math.erfc(s / math.sqrt(2.0 * n))
+
+
+def runs_pvalue(bits: np.ndarray) -> float:
+    """Runs test: is the number of 0/1 runs consistent with randomness?"""
+    bits = np.asarray(bits).astype(np.int8)
+    n = bits.size
+    if n < 2:
+        raise ValueError("need at least 2 bits")
+    pi = bits.mean()
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(n):
+        return 0.0  # fails the monobit precondition
+    runs = 1 + int((bits[1:] != bits[:-1]).sum())
+    expected = 2.0 * n * pi * (1.0 - pi)
+    if expected == 0:
+        return 0.0
+    return math.erfc(
+        abs(runs - expected) / (2.0 * math.sqrt(2.0 * n) * pi * (1.0 - pi))
+    )
+
+
+def bits_from_bytes(data: bytes) -> np.ndarray:
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+
+def passes_basic_randomness(data: bytes, alpha: float = 0.01) -> bool:
+    """Both basic tests pass at significance ``alpha``."""
+    bits = bits_from_bytes(data)
+    return monobit_pvalue(bits) >= alpha and runs_pvalue(bits) >= alpha

@@ -1,0 +1,80 @@
+"""Markdown report generation over the experiment registry.
+
+``generate_report`` runs every registered experiment at a given scale and
+renders a paper-vs-measured markdown document; it is the tool that produced
+EXPERIMENTS.md.  Run directly with ``python -m repro.analysis.report``.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..core.scale import ExperimentScale
+from ..experiments import EXPERIMENTS, run_experiment
+
+
+def generate_report(
+    scale: Optional[ExperimentScale] = None,
+    experiment_ids: Optional[Sequence[str]] = None,
+    stream=None,
+) -> str:
+    """Run experiments and render a markdown report."""
+    scale = scale or ExperimentScale.default()
+    ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
+    out = io.StringIO()
+    out.write("# PuDHammer reproduction report\n\n")
+    out.write(
+        f"Scale: subarrays={scale.subarrays}, row_step={scale.row_step}, "
+        f"simra_groups={scale.simra_groups}, trr_hammers={scale.trr_hammers}\n\n"
+    )
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, scale)
+        elapsed = time.time() - started
+        out.write(f"## {result.experiment_id}: {result.title}\n\n")
+        if result.rows:
+            keys = list(result.rows[0])
+            out.write("| " + " | ".join(keys) + " |\n")
+            out.write("|" + "|".join("---" for _ in keys) + "|\n")
+            for row in result.rows:
+                out.write(
+                    "| "
+                    + " | ".join(_fmt(row.get(key)) for key in keys)
+                    + " |\n"
+                )
+            out.write("\n")
+        if result.checks:
+            out.write("Checks:\n\n")
+            for name, value in result.checks.items():
+                out.write(f"- `{name}` = {value:.4g}\n")
+            out.write("\n")
+        for note in result.notes:
+            out.write(f"> {note}\n")
+        out.write(f"\n_(runtime {elapsed:.1f}s)_\n\n")
+        if stream is not None:
+            stream.write(f"{experiment_id} done in {elapsed:.1f}s\n")
+            stream.flush()
+    return out.getvalue()
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    ids = argv or None
+    report = generate_report(experiment_ids=ids, stream=sys.stderr)
+    sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

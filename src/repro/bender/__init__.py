@@ -1,0 +1,34 @@
+"""DRAM Bender-style testing infrastructure (host + program DSL + thermals)."""
+
+from .environment import TemperatureController, Thermocouple
+from .host import DramBenderHost, ProgramResult, ReadRecord
+from .program import (
+    Act,
+    Instruction,
+    Loop,
+    Nop,
+    Pre,
+    ProgramBuilder,
+    Rd,
+    Ref,
+    TestProgram,
+    Wr,
+)
+
+__all__ = [
+    "Act",
+    "DramBenderHost",
+    "Instruction",
+    "Loop",
+    "Nop",
+    "Pre",
+    "ProgramBuilder",
+    "ProgramResult",
+    "Rd",
+    "ReadRecord",
+    "Ref",
+    "TemperatureController",
+    "TestProgram",
+    "Thermocouple",
+    "Wr",
+]

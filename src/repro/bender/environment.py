@@ -1,0 +1,86 @@
+"""Thermal environment: heater pads, thermocouple, temperature controller.
+
+The paper's setup (Fig. 2) presses silicone heater pads against the DRAM
+chips, senses temperature with a thermocouple, and holds a setpoint with a
+Maxwell FT20X controller.  This module models that loop with first-order
+settling dynamics so experiments exercise a realistic "set, wait until
+stable, measure" flow instead of teleporting the chip temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.module import DramModule
+
+
+@dataclass
+class Thermocouple:
+    """Reads the chip surface temperature with bounded sensor error."""
+
+    offset_c: float = 0.0
+
+    def read(self, true_temperature_c: float) -> float:
+        return true_temperature_c + self.offset_c
+
+
+class TemperatureController:
+    """Closed-loop heater controller holding the chip at a setpoint.
+
+    ``step`` advances the thermal model; ``settle`` iterates until the
+    sensed temperature is within ``tolerance_c`` of the target and then
+    commits the stabilized temperature to the module (the fault model reads
+    per-bank temperature).
+    """
+
+    def __init__(
+        self,
+        module: DramModule,
+        ambient_c: float = 25.0,
+        time_constant_s: float = 30.0,
+        tolerance_c: float = 0.5,
+    ) -> None:
+        self.module = module
+        self.ambient_c = ambient_c
+        self.time_constant_s = time_constant_s
+        self.tolerance_c = tolerance_c
+        self.sensor = Thermocouple()
+        self.current_c = ambient_c
+        self.target_c = ambient_c
+        self.elapsed_s = 0.0
+        module.set_temperature(ambient_c)
+
+    def set_target(self, celsius: float) -> None:
+        if not 0.0 < celsius < 120.0:
+            raise ValueError(f"setpoint {celsius} degC outside heater range")
+        self.target_c = celsius
+
+    def step(self, seconds: float) -> float:
+        """Advance the first-order thermal model and return the reading."""
+        if seconds <= 0:
+            raise ValueError("time step must be positive")
+        import math
+
+        alpha = 1.0 - math.exp(-seconds / self.time_constant_s)
+        self.current_c += alpha * (self.target_c - self.current_c)
+        self.elapsed_s += seconds
+        return self.sensor.read(self.current_c)
+
+    def settle(self, max_seconds: float = 600.0, step_s: float = 5.0) -> float:
+        """Run the loop until the reading is stable at the target."""
+        waited = 0.0
+        while abs(self.sensor.read(self.current_c) - self.target_c) > self.tolerance_c:
+            if waited >= max_seconds:
+                raise RuntimeError(
+                    f"temperature failed to settle at {self.target_c} degC "
+                    f"within {max_seconds}s (at {self.current_c:.1f} degC)"
+                )
+            self.step(step_s)
+            waited += step_s
+        self.module.set_temperature(self.target_c)
+        return self.sensor.read(self.current_c)
+
+    def hold(self, celsius: float) -> float:
+        """Set a target and settle; returns the final reading."""
+        self.set_target(celsius)
+        return self.settle()

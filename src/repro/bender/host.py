@@ -1,0 +1,218 @@
+"""The host side of the testing infrastructure.
+
+:class:`DramBenderHost` plays :class:`~repro.bender.program.TestProgram`
+objects into a simulated module the way the real host + FPGA replay command
+streams into a DIMM:
+
+* logical row addresses are sent to the device (the mapping lives in the
+  device's row decoder),
+* read data is collected into the program result,
+* execution time is tracked in nanoseconds.
+
+Fast path: hammering programs are dominated by a ``Loop`` repeating a short
+command body millions of times.  Damage accrual is linear in the iteration
+count and the body's *functional* effects (copies, majority writes) reach a
+fixpoint after one iteration, so the host executes the body twice -- once to
+warm up interleaving state (double-sided synergy, tAggOff gaps), once with
+the fault model's ``times`` multiplier set to the remaining count -- and
+advances the clock by the skipped duration.  Programs containing RD/WR/REF
+in loop bodies, or any program while a TRR mechanism is attached, take the
+exact (unrolled) path because their behavior is not iteration-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..dram.module import DramModule
+from .program import Act, Instruction, Loop, Nop, Pre, Rd, Ref, TestProgram, Wr
+
+
+@dataclass
+class ReadRecord:
+    """One RD command's returned data."""
+
+    bank: int
+    logical_row: int
+    data: np.ndarray
+    at_ns: float
+
+
+@dataclass
+class ProgramResult:
+    """Everything a test program run produced."""
+
+    program_name: str
+    reads: list[ReadRecord] = field(default_factory=list)
+    start_ns: float = 0.0
+    end_ns: float = 0.0
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def data_for(self, bank: int, logical_row: int) -> np.ndarray:
+        """Last read data for a row (raises if the row was never read)."""
+        for record in reversed(self.reads):
+            if record.bank == bank and record.logical_row == logical_row:
+                return record.data
+        raise KeyError(f"row {logical_row} (bank {bank}) was never read")
+
+
+class DramBenderHost:
+    """Executes test programs against one simulated module."""
+
+    #: Loop bodies at or above this iteration count use the scaled path.
+    SCALE_THRESHOLD = 3
+
+    def __init__(
+        self,
+        module: DramModule,
+        scale_loops: bool = True,
+        enforce_refresh_window: bool = False,
+    ) -> None:
+        self.module = module
+        self.scale_loops = scale_loops
+        self.enforce_refresh_window = enforce_refresh_window
+        self.now_ns = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self, program: TestProgram) -> ProgramResult:
+        """Execute a program; returns collected reads and timing."""
+        result = ProgramResult(program.name, start_ns=self.now_ns)
+        duration = program.duration_ns
+        if duration > self.module.timing.tREFW:
+            message = (
+                f"program {program.name!r} runs {duration / 1e6:.1f} ms, beyond "
+                f"the {self.module.timing.tREFW / 1e6:.0f} ms refresh window; "
+                "retention failures may mix with read disturbance"
+            )
+            if self.enforce_refresh_window:
+                raise RuntimeError(message)
+            result.warnings.append(message)
+
+        self._execute(program.instructions, result)
+        self._flush_banks()
+        result.end_ns = self.now_ns
+        return result
+
+    def _flush_banks(self) -> None:
+        for bank in self.module.banks:
+            bank.flush(self.now_ns)
+
+    # ------------------------------------------------------------------
+    def _execute(self, instructions, result: ProgramResult) -> None:
+        for instr in instructions:
+            if isinstance(instr, Loop):
+                self._execute_loop(instr, result)
+            else:
+                self._step(instr, result)
+
+    def _execute_loop(self, loop: Loop, result: ProgramResult) -> None:
+        if loop.count == 0:
+            return
+        if not self._can_scale(loop):
+            for _ in range(loop.count):
+                self._execute(loop.body, result)
+            return
+
+        # Warm-up pass establishes steady-state interleaving (synergy
+        # windows, tAggOff gaps), then one pass carries the remaining
+        # iterations' damage at once.
+        self._execute(loop.body, result)
+        if loop.count == 1:
+            return
+        remaining = loop.count - 1
+        saved = [bank.event_times for bank in self.module.banks]
+        for bank, times in zip(self.module.banks, saved):
+            bank.event_times = times * remaining
+        try:
+            self._execute(loop.body, result)
+        finally:
+            for bank, times in zip(self.module.banks, saved):
+                bank.event_times = times
+        body_ns = TestProgram(list(loop.body)).duration_ns
+        # two passes already advanced 2 * body_ns; account for the rest
+        self.now_ns += body_ns * (loop.count - 2)
+
+    def _can_scale(self, loop: Loop) -> bool:
+        if not self.scale_loops or loop.count < self.SCALE_THRESHOLD:
+            return False
+        if any(bank.trr is not None for bank in self.module.banks):
+            return False
+        return self._body_is_scalable(loop.body)
+
+    def _body_is_scalable(self, body) -> bool:
+        for instr in body:
+            if isinstance(instr, (Rd, Wr, Ref)):
+                return False
+            if isinstance(instr, Loop) and not self._body_is_scalable(instr.body):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _step(self, instr: Instruction, result: ProgramResult) -> None:
+        self.now_ns += instr.slack_ns
+        module = self.module
+        if isinstance(instr, Act):
+            module.bank(instr.bank).act(module.to_physical(instr.row), self.now_ns)
+        elif isinstance(instr, Pre):
+            module.bank(instr.bank).pre(self.now_ns)
+        elif isinstance(instr, Rd):
+            data = module.bank(instr.bank).rd(
+                module.to_physical(instr.row), self.now_ns
+            )
+            result.reads.append(
+                ReadRecord(instr.bank, instr.row, data, self.now_ns)
+            )
+        elif isinstance(instr, Wr):
+            module.bank(instr.bank).wr(
+                module.to_physical(instr.row),
+                np.frombuffer(instr.data, dtype=np.uint8),
+                self.now_ns,
+            )
+        elif isinstance(instr, Ref):
+            for bank in module.banks:
+                bank.ref(self.now_ns)
+        elif isinstance(instr, Nop):
+            pass
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown instruction {instr!r}")
+
+    # ------------------------------------------------------------------
+    # Convenience operations (nominal-timing row IO in logical space)
+    # ------------------------------------------------------------------
+    def write_rows(self, bank: int, rows: dict[int, np.ndarray]) -> None:
+        """Initialize rows with data at nominal timing."""
+        timing = self.module.timing
+        for logical_row, data in rows.items():
+            self.now_ns += timing.tRP
+            self.module.bank(bank).act(
+                self.module.to_physical(logical_row), self.now_ns
+            )
+            self.now_ns += timing.tRCD
+            self.module.bank(bank).wr(
+                self.module.to_physical(logical_row),
+                np.asarray(data, dtype=np.uint8),
+                self.now_ns,
+            )
+            self.now_ns += timing.tRAS - timing.tRCD + timing.tWR
+            self.module.bank(bank).pre(self.now_ns)
+
+    def read_rows(self, bank: int, rows) -> dict[int, np.ndarray]:
+        """Read rows back at nominal timing (restores their charge)."""
+        timing = self.module.timing
+        out: dict[int, np.ndarray] = {}
+        for logical_row in rows:
+            self.now_ns += timing.tRP
+            physical = self.module.to_physical(logical_row)
+            self.module.bank(bank).act(physical, self.now_ns)
+            self.now_ns += timing.tRCD
+            out[logical_row] = self.module.bank(bank).rd(physical, self.now_ns)
+            self.now_ns += timing.tRAS - timing.tRCD
+            self.module.bank(bank).pre(self.now_ns)
+        return out

@@ -1,0 +1,514 @@
+"""Characterization session: one module on the test bench.
+
+A :class:`CharacterizationSession` bundles a simulated module, the DRAM
+Bender host, the temperature controller and the experiment scale, and
+exposes HC_first measurement primitives for every access pattern in the
+paper.  Experiments (:mod:`repro.experiments`) are thin sweeps over these
+primitives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bender.environment import TemperatureController
+from ..bender.program import TestProgram
+from ..disturbance.calibration import ALL_PATTERNS, DataPattern, Mechanism
+from ..disturbance.distributions import rng_for
+from ..dram.bank import SIMRA_BLOCK
+from ..dram.errors import AddressError
+from ..dram.module import DramModule
+from . import patterns
+from .hcfirst import (
+    ProbeSetup,
+    find_hc_first_repeated,
+    standard_row_data,
+)
+from .metrics import Measurement
+from .scale import ExperimentScale
+
+
+@dataclass(frozen=True)
+class CombinedResult:
+    """§6 combined-pattern outcome for one victim row."""
+
+    victim: int
+    hc_rowhammer: float
+    hc_combined: float
+    prefix_fractions: dict
+
+    @property
+    def reduction(self) -> float:
+        """RowHammer-only HC_first over the combined RowHammer-phase count."""
+        if self.hc_combined <= 0:
+            return math.inf
+        return self.hc_rowhammer / self.hc_combined
+
+
+class CharacterizationSession:
+    """Measurement primitives for one module."""
+
+    def __init__(
+        self,
+        module: DramModule,
+        scale: Optional[ExperimentScale] = None,
+        bank: int = 0,
+    ) -> None:
+        self.module = module
+        self.scale = scale or ExperimentScale.default()
+        self.bank = bank
+        self.controller = TemperatureController(module)
+        self.controller.hold(80.0)
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+    def set_temperature(self, celsius: float) -> None:
+        self.controller.hold(celsius)
+
+    @property
+    def temperature_c(self) -> float:
+        return self.module.temperature_c
+
+    # ------------------------------------------------------------------
+    # Row selection
+    # ------------------------------------------------------------------
+    def candidate_victims(self) -> list[int]:
+        """Victim rows tested in this session (physical addresses).
+
+        Mirrors §4.2: six subarrays per bank (here: ``scale.subarrays``),
+        all rows within (here: every ``row_step``-th), excluding subarray
+        edge rows that lack a same-subarray sandwich.
+        """
+        geometry = self.module.geometry
+        victims: list[int] = []
+        for subarray in self.scale.subarrays:
+            if subarray >= geometry.subarrays_per_bank:
+                continue
+            rows = geometry.subarray_rows(subarray)
+            for row in range(rows.start + 1, rows.stop - 1, self.scale.row_step):
+                victims.append(row)
+        # A full-row sweep would always cover the module's weakest rows;
+        # the scaled subset includes them explicitly so population minima
+        # stay meaningful at any row_step.
+        for mechanism in (Mechanism.ROWHAMMER, Mechanism.COMRA):
+            sentinel = self.module.model.sentinel_row(mechanism, self.bank)
+            if sentinel is not None and sentinel not in victims:
+                if 0 < sentinel < geometry.rows_per_bank - 1:
+                    victims.append(sentinel)
+        return sorted(victims)
+
+    def simra_blocks(self) -> list[int]:
+        """32-row-aligned block bases available for SiMRA group selection."""
+        geometry = self.module.geometry
+        bases: list[int] = []
+        for subarray in self.scale.subarrays:
+            if subarray >= geometry.subarrays_per_bank:
+                continue
+            rows = geometry.subarray_rows(subarray)
+            bases.extend(range(rows.start, rows.stop, SIMRA_BLOCK))
+        return bases
+
+    def sample_simra_pairs(
+        self,
+        n_rows: int,
+        style: str = "double-sided",
+        include_sentinel: bool = True,
+    ) -> list[patterns.SimraAddressPair]:
+        """Randomly sample ``scale.simra_groups`` groups per tested region.
+
+        The paper samples 100 random groups per (subarray, N); group choice
+        is deterministic per module so reruns test the same groups.
+        ``include_sentinel=False`` drops the weakest-row group -- condition
+        sweeps use it so one extreme row does not dominate scaled-down
+        population means.
+        """
+        bases = self.simra_blocks()
+        rng = rng_for(self.module.label, "simra-groups", n_rows, style)
+        chosen = rng.choice(
+            len(bases), size=min(self.scale.simra_groups, len(bases)), replace=False
+        )
+        pairs = []
+        if include_sentinel and style == "double-sided" and n_rows != 32:
+            # Deterministically include the group sandwiching the module's
+            # most vulnerable SiMRA victim: the scaled stand-in for the
+            # paper's exhaustive 100-groups-per-subarray sampling, which
+            # would cover it with near certainty.
+            sentinel = self.module.model.sentinel_row(Mechanism.SIMRA, self.bank)
+            if sentinel is not None:
+                pair = patterns.simra_pair_sandwiching(
+                    self.module, sentinel, n_rows, self.bank
+                )
+                if pair is not None:
+                    pairs.append(pair)
+        for index in sorted(int(i) for i in chosen):
+            anchor = int(rng.integers(0, SIMRA_BLOCK))
+            try:
+                pairs.append(
+                    patterns.simra_pair_for(
+                        self.module, bases[index], n_rows, style,
+                        anchor_offset=anchor,
+                    )
+                )
+            except AddressError:
+                continue
+        return pairs
+
+    # ------------------------------------------------------------------
+    # WCDP
+    # ------------------------------------------------------------------
+    def wcdp(self, victim: int, mechanism: Mechanism) -> DataPattern:
+        """Worst-case data pattern for a victim (§4.2).
+
+        ``scale.wcdp_mode='oracle'`` consults the fault model;
+        ``'measured'`` runs the paper's four-pattern HC_first comparison.
+        """
+        if self.scale.wcdp_mode == "oracle":
+            return self.module.model.worst_case_pattern(self.bank, victim, mechanism)
+        return self.measure_wcdp(victim, mechanism)
+
+    def measure_wcdp(self, victim: int, mechanism: Mechanism) -> DataPattern:
+        """Measure WCDP the way the paper does: four coarse searches."""
+        best_pattern = ALL_PATTERNS[0]
+        best_hc = math.inf
+        for pattern in ALL_PATTERNS:
+            if mechanism is Mechanism.COMRA:
+                m = self.measure_comra_ds(victim, pattern=pattern)
+            elif mechanism is Mechanism.SIMRA:
+                pair = self._pair_sandwiching(victim)
+                if pair is None:
+                    continue
+                results = self.measure_simra_ds(pair, pattern=pattern,
+                                                victims=(victim,))
+                m = results[0] if results else None
+            else:
+                m = self.measure_rowhammer_ds(victim, pattern=pattern)
+            if m is not None and m.found and m.hc_first < best_hc:
+                best_hc = m.hc_first
+                best_pattern = pattern
+        return best_pattern
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    def _measure(
+        self,
+        victims: Sequence[int],
+        aggressors: Sequence[int],
+        program_factory,
+        mechanism: Mechanism,
+        pattern: DataPattern,
+        **params,
+    ) -> list[Measurement]:
+        results = []
+        for victim in victims:
+            row_data = standard_row_data(self.module, aggressors, [victim], pattern)
+            setup = ProbeSetup(
+                module=self.module,
+                program_factory=program_factory,
+                row_data=row_data,
+                victims=[victim],
+                bank=self.bank,
+            )
+            outcome = find_hc_first_repeated(
+                setup,
+                repeats=self.scale.repeats,
+                max_hammers=self.scale.max_hammers,
+            )
+            results.append(
+                Measurement(
+                    module_label=self.module.label,
+                    vendor=self.module.vendor.value,
+                    bank=self.bank,
+                    victim=victim,
+                    mechanism=mechanism,
+                    hc_first=outcome.hc_first if outcome.found else None,
+                    region=self.module.geometry.region_of_row(victim),
+                    pattern=pattern,
+                    temperature_c=self.temperature_c,
+                    params=dict(params),
+                )
+            )
+        return results
+
+    # -- RowHammer / RowPress -------------------------------------------
+    def measure_rowhammer_ds(
+        self,
+        victim: int,
+        pattern: Optional[DataPattern] = None,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+    ) -> Measurement:
+        pattern = pattern or self.wcdp(victim, Mechanism.ROWHAMMER)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.double_sided_rowhammer(
+                self.module, victim, count, bank=self.bank, t_agg_on_ns=t_agg_on_ns
+            )
+
+        return self._measure(
+            [victim], [victim - 1, victim + 1], factory,
+            Mechanism.ROWHAMMER, pattern, t_agg_on_ns=t_agg_on_ns, sided="double",
+        )[0]
+
+    def measure_rowhammer_ss(
+        self,
+        aggressor: int,
+        pattern: Optional[DataPattern] = None,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+    ) -> list[Measurement]:
+        """Single-sided RowHammer; measures each adjacent victim."""
+        victims = list(self.module.geometry.neighbors(aggressor, 1))
+        pattern = pattern or self.wcdp(victims[0], Mechanism.ROWHAMMER)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.single_sided_rowhammer(
+                self.module, aggressor, count, bank=self.bank,
+                t_agg_on_ns=t_agg_on_ns,
+            )
+
+        return self._measure(
+            victims, [aggressor], factory,
+            Mechanism.ROWHAMMER, pattern, t_agg_on_ns=t_agg_on_ns, sided="single",
+        )
+
+    def measure_far_ds_rowhammer(
+        self,
+        row_a: int,
+        row_b: int,
+        pattern: Optional[DataPattern] = None,
+    ) -> list[Measurement]:
+        """Fig. 7's control: two distant aggressors at nominal timing."""
+        victims = list(self.module.geometry.neighbors(row_a, 1))
+        pattern = pattern or self.wcdp(victims[0], Mechanism.ROWHAMMER)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.far_double_sided_rowhammer(
+                self.module, row_a, row_b, count, bank=self.bank
+            )
+
+        return self._measure(
+            victims, [row_a, row_b], factory,
+            Mechanism.ROWHAMMER, pattern, sided="far-double",
+        )
+
+    # -- CoMRA ------------------------------------------------------------
+    def measure_comra_ds(
+        self,
+        victim: int,
+        pattern: Optional[DataPattern] = None,
+        pre_to_act_ns: float = patterns.COMRA_DELAY_NS,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+        reverse: bool = False,
+    ) -> Measurement:
+        pattern = pattern or self.wcdp(victim, Mechanism.COMRA)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.double_sided_comra(
+                self.module, victim, count, bank=self.bank,
+                pre_to_act_ns=pre_to_act_ns, t_agg_on_ns=t_agg_on_ns,
+                reverse=reverse,
+            )
+
+        return self._measure(
+            [victim], [victim - 1, victim + 1], factory,
+            Mechanism.COMRA, pattern,
+            pre_to_act_ns=pre_to_act_ns, t_agg_on_ns=t_agg_on_ns,
+            reverse=reverse, sided="double",
+        )[0]
+
+    def measure_comra_ss(
+        self,
+        src: int,
+        dst: int,
+        pattern: Optional[DataPattern] = None,
+        pre_to_act_ns: float = patterns.COMRA_DELAY_NS,
+        victims: Optional[Sequence[int]] = None,
+    ) -> list[Measurement]:
+        if victims is None:
+            victims = list(self.module.geometry.neighbors(src, 1))
+        else:
+            victims = list(victims)
+        pattern = pattern or self.wcdp(victims[0], Mechanism.COMRA)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.single_sided_comra(
+                self.module, src, dst, count, bank=self.bank,
+                pre_to_act_ns=pre_to_act_ns,
+            )
+
+        return self._measure(
+            victims, [src, dst], factory,
+            Mechanism.COMRA, pattern, pre_to_act_ns=pre_to_act_ns, sided="single",
+        )
+
+    # -- SiMRA ------------------------------------------------------------
+    def measure_simra_ds(
+        self,
+        pair: patterns.SimraAddressPair,
+        pattern: Optional[DataPattern] = None,
+        victims: Optional[Sequence[int]] = None,
+        act_to_pre_ns: float = patterns.SIMRA_ACT_TO_PRE_NS,
+        pre_to_act_ns: float = patterns.SIMRA_PRE_TO_ACT_NS,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+        max_victims: int = 3,
+    ) -> list[Measurement]:
+        """Double-sided SiMRA: HC_first of sandwiched victims of a group."""
+        all_victims = pair.sandwiched_victims()
+        if victims is None:
+            chosen = list(all_victims[:max_victims])
+            sentinel = self.module.model.sentinel_row(Mechanism.SIMRA, self.bank)
+            if sentinel in all_victims and sentinel not in chosen:
+                # keep the scaled victim subset representative of the full
+                # sweep, which would always cover the weakest row
+                chosen[-1] = sentinel
+            victims = tuple(chosen)
+        if not victims:
+            return []
+        pattern = pattern or self.wcdp(victims[0], Mechanism.SIMRA)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.simra_hammer(
+                self.module, pair, count, bank=self.bank,
+                act_to_pre_ns=act_to_pre_ns, pre_to_act_ns=pre_to_act_ns,
+                t_agg_on_ns=t_agg_on_ns,
+            )
+
+        return self._measure(
+            list(victims), list(pair.group), factory,
+            Mechanism.SIMRA, pattern,
+            n_rows=pair.count, act_to_pre_ns=act_to_pre_ns,
+            pre_to_act_ns=pre_to_act_ns, t_agg_on_ns=t_agg_on_ns, sided="double",
+        )
+
+    def measure_simra_ss(
+        self,
+        pair: patterns.SimraAddressPair,
+        pattern: Optional[DataPattern] = None,
+        act_to_pre_ns: float = patterns.SIMRA_ACT_TO_PRE_NS,
+        pre_to_act_ns: float = patterns.SIMRA_PRE_TO_ACT_NS,
+    ) -> list[Measurement]:
+        """Single-sided SiMRA: victims bordering a contiguous group."""
+        geometry = self.module.geometry
+        edge_victims = []
+        for candidate in (min(pair.group) - 1, max(pair.group) + 1):
+            if (
+                0 <= candidate < geometry.rows_per_bank
+                and geometry.same_subarray(candidate, min(pair.group))
+                and candidate not in pair.group
+            ):
+                edge_victims.append(candidate)
+        if not edge_victims:
+            return []
+        pattern = pattern or self.wcdp(edge_victims[0], Mechanism.SIMRA)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.simra_hammer(
+                self.module, pair, count, bank=self.bank,
+                act_to_pre_ns=act_to_pre_ns, pre_to_act_ns=pre_to_act_ns,
+            )
+
+        return self._measure(
+            edge_victims, list(pair.group), factory,
+            Mechanism.SIMRA, pattern,
+            n_rows=pair.count, sided="single",
+            act_to_pre_ns=act_to_pre_ns, pre_to_act_ns=pre_to_act_ns,
+        )
+
+    # -- §6 combined patterns ----------------------------------------------
+    def _pair_sandwiching(
+        self, victim: int, n_rows: int = 2
+    ) -> Optional[patterns.SimraAddressPair]:
+        """A SiMRA pair whose activated rows sandwich ``victim``."""
+        return patterns.simra_pair_sandwiching(
+            self.module, victim, n_rows, self.bank
+        )
+
+    def combined_victims(self) -> list[int]:
+        """Candidate victims usable for every §6 phase (RH, CoMRA, SiMRA-2).
+
+        SiMRA-2 pairs require the victim's neighbors to differ in address
+        bit 1 within one 32-row block, i.e. victims at offset 1 (mod 4).
+        """
+        return [
+            victim
+            for victim in self.candidate_victims()
+            if self._pair_sandwiching(victim) is not None
+        ]
+
+    def measure_combined(
+        self,
+        victim: int,
+        comra_fraction: float = 0.0,
+        simra_fraction: float = 0.0,
+        pattern: Optional[DataPattern] = None,
+    ) -> Optional[CombinedResult]:
+        """§6 procedure: pre-hammer with CoMRA/SiMRA, finish with RowHammer.
+
+        Returns None when a needed phase has no measurable HC_first.
+        """
+        pattern = pattern or self.wcdp(victim, Mechanism.ROWHAMMER)
+        hc_rh = self.measure_rowhammer_ds(victim, pattern=pattern)
+        if not hc_rh.found:
+            return None
+
+        prefix_programs: list[TestProgram] = []
+        fractions: dict[str, float] = {}
+        if comra_fraction > 0:
+            hc_comra = self.measure_comra_ds(victim, pattern=pattern)
+            if not hc_comra.found:
+                return None
+            count = max(1, int(comra_fraction * hc_comra.hc_first * 0.999))
+            prefix_programs.append(
+                patterns.double_sided_comra(self.module, victim, count, bank=self.bank)
+            )
+            fractions["comra"] = comra_fraction
+        if simra_fraction > 0:
+            pair = self._pair_sandwiching(victim)
+            if pair is None:
+                return None
+            simra_ms = self.measure_simra_ds(pair, pattern=pattern, victims=(victim,))
+            if not simra_ms or not simra_ms[0].found:
+                return None
+            count = max(1, int(simra_fraction * simra_ms[0].hc_first * 0.999))
+            prefix_programs.append(
+                patterns.simra_hammer(self.module, pair, count, bank=self.bank)
+            )
+            fractions["simra"] = simra_fraction
+
+        prefix_instructions = [
+            instr for program in prefix_programs for instr in program.instructions
+        ]
+
+        def factory(count: int) -> TestProgram:
+            tail = patterns.double_sided_rowhammer(
+                self.module, victim, count, bank=self.bank
+            )
+            return TestProgram(
+                prefix_instructions + tail.instructions, "combined"
+            )
+
+        row_data = standard_row_data(
+            self.module, [victim - 1, victim + 1], [victim], pattern
+        )
+        setup = ProbeSetup(
+            module=self.module,
+            program_factory=factory,
+            row_data=row_data,
+            victims=[victim],
+            bank=self.bank,
+        )
+        outcome = find_hc_first_repeated(
+            setup, repeats=self.scale.repeats, max_hammers=self.scale.max_hammers
+        )
+        if not outcome.found:
+            return None
+        return CombinedResult(
+            victim=victim,
+            hc_rowhammer=float(hc_rh.hc_first),
+            hc_combined=float(outcome.hc_first),
+            prefix_fractions=fractions,
+        )

@@ -1,0 +1,76 @@
+"""Read-disturbance fault model: the "silicon" of the reproduction.
+
+Public surface:
+
+* :class:`~repro.disturbance.calibration.Vendor`,
+  :class:`~repro.disturbance.calibration.Mechanism`,
+  :class:`~repro.disturbance.calibration.DataPattern`,
+  :class:`~repro.disturbance.calibration.FlipDirection` -- shared enums.
+* :data:`~repro.disturbance.calibration.MODULE_CALIBRATIONS` -- Table 2.
+* :class:`~repro.disturbance.model.DisturbanceModel` -- per-module physics.
+* :class:`~repro.disturbance.retention.RetentionModel` -- retention decay.
+"""
+
+from .calibration import (
+    ALL_PATTERNS,
+    DataPattern,
+    FlipDirection,
+    Mechanism,
+    MODULE_CALIBRATIONS,
+    ModuleCalibration,
+    SIMRA_COUNTS,
+    Vendor,
+    VendorCalibration,
+    configs_for_vendor,
+    module_calibration,
+    vendor_calibration,
+)
+from .distributions import (
+    Lognormal,
+    MixtureRatio,
+    fit_lognormal_min_avg,
+    geometric_mean,
+    log_interp,
+    normal_cdf,
+    normal_ppf,
+    rng_for,
+    solve_ratio_lognormal,
+    stable_seed,
+)
+from .model import (
+    DisturbanceModel,
+    REFERENCE_TEMPERATURE_C,
+    RowProfile,
+    classify_pattern,
+)
+from .retention import RetentionModel
+
+__all__ = [
+    "ALL_PATTERNS",
+    "DataPattern",
+    "DisturbanceModel",
+    "FlipDirection",
+    "Lognormal",
+    "MODULE_CALIBRATIONS",
+    "Mechanism",
+    "MixtureRatio",
+    "ModuleCalibration",
+    "REFERENCE_TEMPERATURE_C",
+    "RetentionModel",
+    "RowProfile",
+    "SIMRA_COUNTS",
+    "Vendor",
+    "VendorCalibration",
+    "classify_pattern",
+    "configs_for_vendor",
+    "fit_lognormal_min_avg",
+    "geometric_mean",
+    "log_interp",
+    "module_calibration",
+    "normal_cdf",
+    "normal_ppf",
+    "rng_for",
+    "solve_ratio_lognormal",
+    "stable_seed",
+    "vendor_calibration",
+]

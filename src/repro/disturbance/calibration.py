@@ -1,0 +1,620 @@
+"""Calibration tables for the read-disturbance fault model.
+
+Every constant in this module is traceable to a number reported in the
+PuDHammer paper (figure/observation references in comments).  The fault
+model consumes these tables; experiments then *measure* the simulated chips
+through the DRAM Bender interface and should land within the paper's bands.
+
+Organization:
+
+* :class:`Vendor`, :class:`Mechanism`, :class:`DataPattern` -- enums shared
+  across the library.
+* :data:`MODULE_CALIBRATIONS` -- one entry per Table 2 row (14 module
+  configurations, 40 modules, 316 chips).
+* :data:`VENDOR_CALIBRATIONS` -- per-vendor sensitivity factors
+  (temperature, data pattern, RowPress anchors, spatial profiles, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..dram.errors import CalibrationError
+
+
+class Vendor(str, Enum):
+    """The four DRAM manufacturers characterized by the paper."""
+
+    SK_HYNIX = "SK Hynix"
+    MICRON = "Micron"
+    SAMSUNG = "Samsung"
+    NANYA = "Nanya"
+
+
+class Mechanism(str, Enum):
+    """Read-disturbance mechanism classes.
+
+    RowPress is not a separate class: it is RowHammer/CoMRA/SiMRA with an
+    extended ``tAggOn`` and folds into the base mechanism's damage pool.
+    """
+
+    ROWHAMMER = "rowhammer"
+    COMRA = "comra"
+    SIMRA = "simra"
+
+
+class FlipDirection(str, Enum):
+    """Bitflip polarity: the value a victim cell held before flipping."""
+
+    ONE_TO_ZERO = "1->0"
+    ZERO_TO_ONE = "0->1"
+
+    @property
+    def vulnerable_bit(self) -> int:
+        return 1 if self is FlipDirection.ONE_TO_ZERO else 0
+
+    @property
+    def opposite(self) -> "FlipDirection":
+        if self is FlipDirection.ONE_TO_ZERO:
+            return FlipDirection.ZERO_TO_ONE
+        return FlipDirection.ONE_TO_ZERO
+
+
+class DataPattern(str, Enum):
+    """The four data patterns used in reliability testing (§4.2)."""
+
+    ALL_ZEROS = "0x00"
+    ALL_ONES = "0xFF"
+    CHECKER_AA = "0xAA"
+    CHECKER_55 = "0x55"
+
+    @property
+    def byte(self) -> int:
+        return int(self.value, 16)
+
+    @property
+    def negated(self) -> "DataPattern":
+        mapping = {
+            DataPattern.ALL_ZEROS: DataPattern.ALL_ONES,
+            DataPattern.ALL_ONES: DataPattern.ALL_ZEROS,
+            DataPattern.CHECKER_AA: DataPattern.CHECKER_55,
+            DataPattern.CHECKER_55: DataPattern.CHECKER_AA,
+        }
+        return mapping[self]
+
+    def fill(self, nbytes: int) -> np.ndarray:
+        """Row-sized byte buffer holding this pattern."""
+        return np.full(nbytes, self.byte, dtype=np.uint8)
+
+    @property
+    def ones_fraction(self) -> float:
+        """Fraction of cells storing 1 under this pattern."""
+        return bin(self.byte).count("1") / 8.0
+
+
+ALL_PATTERNS = (
+    DataPattern.ALL_ZEROS,
+    DataPattern.ALL_ONES,
+    DataPattern.CHECKER_AA,
+    DataPattern.CHECKER_55,
+)
+
+
+# ----------------------------------------------------------------------
+# Table 2: per-module-configuration measured HC_first statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModuleCalibration:
+    """One row of Table 2.
+
+    ``rh/comra/simra`` pairs are the reported (minimum, average) HC_first
+    over all tested rows of that configuration; SiMRA entries are ``None``
+    for vendors where SiMRA is not observable (§5.3).
+    """
+
+    config_id: str
+    vendor: Vendor
+    module_vendor: str
+    module_identifier: str
+    chip_identifier: str
+    n_modules: int
+    n_chips: int
+    mfr_date: Optional[str]
+    density: str
+    die_rev: str
+    org: str
+    rh_min: float
+    rh_avg: float
+    comra_min: float
+    comra_avg: float
+    simra_min: Optional[float] = None
+    simra_avg: Optional[float] = None
+    #: Logical->physical row mapping scheme (see repro.dram.mapping).
+    mapping_scheme: str = "sequential"
+    #: Reverse-engineered subarray size used for paper-scale geometry.
+    subarray_size: int = 512
+    #: Whether this configuration ships an on-die TRR sampler we model
+    #: (§7 tests one SK Hynix 8Gb A-die module).
+    has_trr: bool = False
+
+    @property
+    def supports_simra(self) -> bool:
+        return self.simra_min is not None
+
+    def __post_init__(self) -> None:
+        if self.rh_min > self.rh_avg or self.comra_min > self.comra_avg:
+            raise CalibrationError(f"{self.config_id}: min exceeds avg")
+        if (self.simra_min is None) != (self.simra_avg is None):
+            raise CalibrationError(f"{self.config_id}: partial SiMRA entry")
+
+
+MODULE_CALIBRATIONS: tuple[ModuleCalibration, ...] = (
+    ModuleCalibration(
+        "hynix-a-4gb", Vendor.SK_HYNIX, "TimeTec", "75TT21NUS1R8-4",
+        "H5AN4G8NAFR-TFC", 1, 8, None, "4Gb", "A", "x8",
+        38_450, 112_000, 447, 5_840, 585, 6_620,
+        mapping_scheme="mirrored-pair",
+    ),
+    ModuleCalibration(
+        "hynix-a-8gb", Vendor.SK_HYNIX, "SK Hynix", "HMA81GU7AFR8N-UH",
+        "H5AN8G8NAFR-UHC", 8, 64, "43-18", "8Gb", "A", "x8",
+        25_000, 63_240, 1_885, 45_280, 26, 16_140,
+        mapping_scheme="mirrored-pair", has_trr=True,
+    ),
+    ModuleCalibration(
+        "hynix-c-16gb", Vendor.SK_HYNIX, "Kingston", "KSM26ES8/16HC",
+        "H5ANAG8NCJR-XNC", 2, 16, "52-23", "16Gb", "C", "x8",
+        6_250, 17_130, 4_540, 12_270, 48, 16_020,
+        mapping_scheme="mirrored-pair", subarray_size=1024,
+    ),
+    ModuleCalibration(
+        "hynix-d-8gb", Vendor.SK_HYNIX, "SK Hynix", "HMA81GU7DJR8N-WM",
+        "H5AN8G8NDJR-WMC", 6, 48, None, "8Gb", "D", "x8",
+        7_580, 23_110, 632, 16_420, 95, 22_810,
+        mapping_scheme="mirrored-pair",
+    ),
+    ModuleCalibration(
+        "micron-b-4gb", Vendor.MICRON, "Kingston", "KVR21S15S8/4",
+        "MT40A512M8RH-083E:B", 1, 8, "12-17", "4Gb", "B", "x8",
+        126_000, 338_000, 93_000, 295_000,
+        mapping_scheme="bit-inverted-half",
+    ),
+    ModuleCalibration(
+        "micron-e-16gb", Vendor.MICRON, "Micron", "MTA4ATF1G64HZ-3G2E1",
+        "MT40A1G16KD-062E:E", 4, 32, "46-20", "16Gb", "E", "x16",
+        4_890, 10_010, 3_720, 7_690,
+        mapping_scheme="bit-inverted-half", subarray_size=1024,
+    ),
+    ModuleCalibration(
+        "micron-f-16gb", Vendor.MICRON, "Micron", "MTA18ASF4G72HZ-3G2F1",
+        "MT40A2G8SA-062E:F", 4, 32, "37-22", "16Gb", "F", "x8",
+        4_123, 9_030, 3_490, 7_060,
+        mapping_scheme="bit-inverted-half", subarray_size=1024,
+    ),
+    ModuleCalibration(
+        "micron-r-8gb", Vendor.MICRON, "Kingston", "KSM32ES8/8MR",
+        "MT40A1G8SA-062E:R", 2, 16, "12-24", "8Gb", "R", "x8",
+        3_840, 9_320, 3_670, 7_670,
+        mapping_scheme="bit-inverted-half",
+    ),
+    ModuleCalibration(
+        "samsung-a-16gb", Vendor.SAMSUNG, "Samsung", "M378A2G43AB3-CWE",
+        "K4AAG085WA-BCWE", 1, 8, "12-22", "16Gb", "A", "x8",
+        6_700, 14_800, 5_260, 10_610,
+        subarray_size=1024,
+    ),
+    ModuleCalibration(
+        "samsung-b-16gb", Vendor.SAMSUNG, "Samsung", "M391A2G43BB2-CWE",
+        "unknown", 5, 40, "15-23", "16Gb", "B", "x8",
+        6_150, 14_790, 1_875, 10_640,
+        subarray_size=1024,
+    ),
+    ModuleCalibration(
+        "samsung-c-4gb", Vendor.SAMSUNG, "Samsung", "M471A5244CB0-CRC",
+        "unknown", 1, 4, "19-19", "4Gb", "C", "x16",
+        8_940, 25_830, 6_250, 18_400,
+    ),
+    ModuleCalibration(
+        "samsung-c-16gb", Vendor.SAMSUNG, "Samsung", "M471A4G43CB1-CWE",
+        "unknown", 1, 8, "08-24", "16Gb", "C", "x8",
+        6_810, 15_220, 4_433, 10_950,
+        subarray_size=1024,
+    ),
+    ModuleCalibration(
+        "samsung-e-4gb", Vendor.SAMSUNG, "Samsung", "MTA4ATF1G64HZ-3G2B2",
+        "MT40A1G16RC-062E:B", 1, 8, "08-17", "4Gb", "E", "x8",
+        15_770, 81_030, 11_720, 60_830,
+    ),
+    ModuleCalibration(
+        "nanya-c-8gb", Vendor.NANYA, "Kingston", "KVR24N17S8/8",
+        "unknown", 3, 24, "46-20", "8Gb", "C", "x8",
+        31_290, 128_000, 20_190, 107_000,
+    ),
+)
+
+
+def module_calibration(config_id: str) -> ModuleCalibration:
+    """Look up a Table 2 row by configuration id."""
+    for entry in MODULE_CALIBRATIONS:
+        if entry.config_id == config_id:
+            return entry
+    raise CalibrationError(
+        f"unknown module config {config_id!r}; "
+        f"known: {[m.config_id for m in MODULE_CALIBRATIONS]}"
+    )
+
+
+def configs_for_vendor(vendor: Vendor) -> tuple[ModuleCalibration, ...]:
+    return tuple(m for m in MODULE_CALIBRATIONS if m.vendor == vendor)
+
+
+#: Tested row-activation counts for SiMRA (§5.2).
+SIMRA_COUNTS = (2, 4, 8, 16, 32)
+
+#: Fraction of victim rows whose HC_first improves under double-sided SiMRA
+#: versus double-sided RowHammer, per simultaneously-activated row count N
+#: (Obs. 12: 100% / 98.79% / 97.40% / 94.94% for N = 2/4/8/16).
+SIMRA_PROB_BETTER = {2: 0.9999, 4: 0.9879, 8: 0.9740, 16: 0.9494, 32: 0.9400}
+
+#: At least 25.19% of victims show >99% HC_first reduction for every N
+#: (Obs. 12); the vulnerable mixture component models them.
+SIMRA_P_HI = 0.27
+SIMRA_HI_MEDIAN = 130.0
+SIMRA_HI_SIGMA = 0.55
+
+#: Fraction of victims improving under double-sided CoMRA vs RowHammer
+#: (Obs. 2: 99% across all four vendors).
+COMRA_PROB_BETTER = 0.99
+
+
+# ----------------------------------------------------------------------
+# Per-vendor sensitivity calibrations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VendorCalibration:
+    """Vendor-level behavioral parameters.
+
+    Attribute docs cite the paper observation each value reproduces.
+    """
+
+    vendor: Vendor
+    #: Whether ACT-PRE-ACT triggers simultaneous activation at all
+    #: (§5.3: only SK Hynix; others ignore the violating sequence).
+    supports_simra: bool
+    #: Ln-factor per degC applied to the disturbance weight between 50 and
+    #: 80 degC, per mechanism.  Positive = hotter is worse (HC_first drops).
+    #: CoMRA (Obs. 4): 3.45x / 2.13x / 1.14x stronger at 80C for
+    #: Hynix/Samsung/Nanya minima; Micron inverts (1.14x weaker).
+    #: SiMRA (Obs. 15): consistent ~3.2x per 30C.  RowHammer: no clear
+    #: population trend (prior work), so mean 0 with spread.
+    temp_slope_mean: dict[Mechanism, float]
+    temp_slope_sd: dict[Mechanism, float]
+    #: Aggressor data-pattern coupling multipliers, relative to the
+    #: strongest pattern (Figs. 5 and 14).  Keyed by aggressor pattern;
+    #: victims hold the negated pattern.
+    pattern_coupling: dict[Mechanism, dict[DataPattern, float]]
+    #: Dominant flip direction per mechanism (Obs. 14: SiMRA flips 1->0,
+    #: RowHammer 0->1) and the median weight ratio dominant/other.
+    dominant_direction: dict[Mechanism, FlipDirection]
+    direction_ratio_median: dict[Mechanism, float]
+    direction_ratio_sigma: dict[Mechanism, float]
+    #: RowPress tAggOn multiplier anchors per mechanism: tAggOn ns -> weight
+    #: multiplier (Figs. 8 and 17; Obs. 6/7/18).
+    press_anchors: dict[Mechanism, dict[float, float]]
+    #: CoMRA PRE->ACT latency decay: delay ns -> multiplier on the CoMRA
+    #: iteration weight (Fig. 9 / Obs. 8: avg HC_first rises 3.10x / 1.18x /
+    #: 1.17x / 3.01x from 7.5 ns to 12 ns).
+    comra_latency_decay: dict[float, float]
+    #: Spatial region weight profiles (multiplier per 5 regions, beginning
+    #: to end), per mechanism (Figs. 11 and 19; Obs. 10/11/21).
+    spatial_profile: dict[Mechanism, tuple[float, float, float, float, float]]
+    #: SiMRA-specific spatial profiles per activated-row count (Obs. 21).
+    simra_spatial_by_count: dict[int, tuple[float, float, float, float, float]] = field(
+        default_factory=dict
+    )
+    #: Median single-sided penalty: double-sided synergy divides per-ACT
+    #: weight by this when the opposite neighbor is not co-hammered.
+    ss_penalty_median: float = 1.9
+    ss_penalty_sigma: float = 0.25
+    #: tAggOff boost coefficient (Obs. 5 via RowPress prior work: larger
+    #: gaps between an aggressor's activations increase per-ACT damage).
+    aggoff_coefficient: float = 0.18
+    aggoff_cap: float = 1.8
+    #: Single-sided SiMRA weight multipliers vs single-sided RowHammer,
+    #: by activated-row count (Fig. 16 / Obs. 16-17).
+    simra_ss_mult: dict[int, float] = field(default_factory=dict)
+    #: SiMRA ACT->PRE = 1.5 ns partial-activation behavior (Obs. 20:
+    #: average HC_first rises 2.28x).
+    simra_partial_prob: float = 0.5
+    simra_partial_weight: float = 0.3
+    #: SiMRA PRE->ACT slope (Obs. 19: +1.23x weight from 1.5 to 4.5 ns).
+    simra_pre_act_slope_per_ns: float = 0.069
+    #: Cross-mechanism damage coupling means eta(from -> to) (§6; Obs. 22-24).
+    eta_mean: dict[tuple[Mechanism, Mechanism], float] = field(default_factory=dict)
+    eta_sigma: float = 0.35
+    #: Fraction of rows completely insensitive to SiMRA->RowHammer coupling
+    #: (Obs. 23's hypothesis: RH-weakest cell not SiMRA-vulnerable).
+    eta_simra_zero_prob: float = 0.10
+    #: Copy-direction asymmetry (Fig. 10 / Obs. 9): lognormal sigma of the
+    #: per-(row, direction) weight noise and tail probability of large
+    #: asymmetry.
+    copy_direction_sigma: float = 0.035
+    copy_direction_tail_prob: float = 0.003
+    copy_direction_tail_sigma: float = 1.1
+    #: Per-cell threshold spread for flip-count curves (ln units) and the
+    #: fraction of a row's cells that can ever flip.
+    cell_sigma: float = 0.9
+    weak_cell_fraction: float = 0.35
+    #: Retention time distribution (for U-TRR canaries): lognormal over
+    #: nanoseconds.
+    retention_median_ns: float = 2.0e9
+    retention_sigma: float = 0.8
+    #: Fraction of rows using anti-cells (0 stored as charged); Nanya's
+    #: complicated true/anti pattern (§4.3 footnote 1) mixes within rows.
+    anti_cell_row_fraction: float = 0.25
+    mixed_cells_within_row: bool = False
+    #: Blast radius: per-ACT weight at distance 2 relative to distance 1.
+    distance2_weight: float = 0.04
+
+
+def _press(rh: dict[float, float], comra: dict[float, float],
+           simra: dict[float, float]) -> dict[Mechanism, dict[float, float]]:
+    return {
+        Mechanism.ROWHAMMER: rh,
+        Mechanism.COMRA: comra,
+        Mechanism.SIMRA: simra,
+    }
+
+
+#: Default eta means reproducing §6: combining RowHammer with CoMRA at 90%
+#: pre-hammer lowers HC_first 1.34x (-> eta ~ 0.28), with SiMRA 1.22x
+#: (-> ~0.20), both together 1.66x (sum ~ 0.45) (Obs. 22-24).
+# Coupling is direction-agnostic (both polarities' damage transfers), so
+# the means below are the paper's observed reductions divided by the
+# typical total-pool multiplier (~1.46 for CoMRA's 1.6 direction ratio).
+_DEFAULT_ETA = {
+    (Mechanism.COMRA, Mechanism.ROWHAMMER): 0.175,
+    (Mechanism.SIMRA, Mechanism.ROWHAMMER): 0.19,
+    # couplings back into the PuD mechanisms are weak enough that §6's
+    # 90% pre-hammer phases never flip a victim on their own
+    (Mechanism.ROWHAMMER, Mechanism.COMRA): 0.02,
+    (Mechanism.ROWHAMMER, Mechanism.SIMRA): 0.02,
+    (Mechanism.COMRA, Mechanism.SIMRA): 0.02,
+    (Mechanism.SIMRA, Mechanism.COMRA): 0.02,
+}
+
+#: RowHammer tAggOn anchors: average HC_first falls 31.15x at 70.2 us
+#: (Obs. 6, consistent with RowPress).
+_RH_PRESS = {36.0: 1.0, 144.0: 1.97, 7_800.0: 12.0, 70_200.0: 31.15}
+#: CoMRA: 78.74x at 70.2 us, but RowPress overtakes CoMRA at 7.8 us by 1.17x
+#: (Obs. 7), hence the depressed 7.8 us anchor.
+_COMRA_PRESS = {36.0: 1.0, 144.0: 1.9, 7_800.0: 8.0, 70_200.0: 78.74}
+#: SiMRA: 144.93x--270.27x at 70.2 us (Obs. 18); we anchor the population
+#: mean near the geometric middle.
+_SIMRA_PRESS = {36.0: 1.0, 144.0: 2.6, 7_800.0: 24.0, 70_200.0: 198.0}
+
+_NO_TREND = {Mechanism.ROWHAMMER: 0.0}
+
+
+def _temp(rh: float, comra: float, simra: float) -> dict[Mechanism, float]:
+    return {Mechanism.ROWHAMMER: rh, Mechanism.COMRA: comra, Mechanism.SIMRA: simra}
+
+
+VENDOR_CALIBRATIONS: dict[Vendor, VendorCalibration] = {
+    Vendor.SK_HYNIX: VendorCalibration(
+        vendor=Vendor.SK_HYNIX,
+        supports_simra=True,
+        # ln(2.0)/30 per degC for CoMRA population mean (Obs. 4 minima move
+        # 3.45x; averages move less); SiMRA ln(3.2)/30 (Obs. 15).
+        temp_slope_mean=_temp(0.0, 0.0231, 0.0388),
+        temp_slope_sd={
+            Mechanism.ROWHAMMER: 0.006,
+            Mechanism.COMRA: 0.009,
+            Mechanism.SIMRA: 0.003,
+        },
+        pattern_coupling={
+            Mechanism.ROWHAMMER: {
+                DataPattern.ALL_ZEROS: 0.45, DataPattern.ALL_ONES: 0.85,
+                DataPattern.CHECKER_AA: 1.0, DataPattern.CHECKER_55: 0.97,
+            },
+            Mechanism.COMRA: {
+                DataPattern.ALL_ZEROS: 0.55, DataPattern.ALL_ONES: 0.80,
+                DataPattern.CHECKER_AA: 0.96, DataPattern.CHECKER_55: 1.0,
+            },
+            # Fig. 14: electrical aggressor-side coupling only; the
+            # victim-side polarity effect (aggressor 0xFF -> victim 0x00
+            # raising average HC_first up to 57.8x, Obs. 13) comes from the
+            # direction-ratio pools below.
+            Mechanism.SIMRA: {
+                DataPattern.ALL_ZEROS: 1.0, DataPattern.ALL_ONES: 0.85,
+                DataPattern.CHECKER_AA: 0.92, DataPattern.CHECKER_55: 0.90,
+            },
+        },
+        dominant_direction={
+            Mechanism.ROWHAMMER: FlipDirection.ZERO_TO_ONE,
+            Mechanism.COMRA: FlipDirection.ZERO_TO_ONE,
+            Mechanism.SIMRA: FlipDirection.ONE_TO_ZERO,
+        },
+        direction_ratio_median={
+            Mechanism.ROWHAMMER: 3.0, Mechanism.COMRA: 1.6, Mechanism.SIMRA: 22.0,
+        },
+        direction_ratio_sigma={
+            Mechanism.ROWHAMMER: 0.5, Mechanism.COMRA: 0.5, Mechanism.SIMRA: 0.7,
+        },
+        press_anchors=_press(_RH_PRESS, _COMRA_PRESS, _SIMRA_PRESS),
+        # Obs. 8: 3.10x average HC_first increase from 7.5 ns to 12 ns.
+        comra_latency_decay={7.5: 1.0, 9.0: 0.72, 10.5: 0.48, 12.0: 0.3226},
+        # Obs. 11: beginning-of-subarray victims most vulnerable; 1.40x span.
+        spatial_profile={
+            Mechanism.ROWHAMMER: (1.10, 1.02, 0.98, 0.95, 0.92),
+            Mechanism.COMRA: (1.18, 1.05, 0.97, 0.92, 0.845),
+            Mechanism.SIMRA: (1.12, 1.04, 0.98, 0.94, 0.90),
+        },
+        # Obs. 21: N = 4 -> beginning least vulnerable; N = 8 -> end least.
+        simra_spatial_by_count={
+            2: (1.05, 1.02, 1.00, 0.97, 0.95),
+            4: (0.80, 0.95, 1.05, 1.08, 1.10),
+            8: (1.10, 1.06, 1.00, 0.92, 0.82),
+            16: (1.04, 1.00, 0.98, 1.00, 0.97),
+        },
+        simra_ss_mult={2: 0.80, 4: 0.88, 8: 0.97, 16: 1.07, 32: 1.17},
+        eta_mean=dict(_DEFAULT_ETA),
+    ),
+    Vendor.MICRON: VendorCalibration(
+        vendor=Vendor.MICRON,
+        supports_simra=False,
+        # Obs. 4: Micron inverts -- HC_first *rises* ~1.14x with temperature.
+        temp_slope_mean=_temp(0.0, -0.00437, 0.0),
+        temp_slope_sd={
+            Mechanism.ROWHAMMER: 0.006,
+            Mechanism.COMRA: 0.005,
+            Mechanism.SIMRA: 0.0,
+        },
+        pattern_coupling={
+            Mechanism.ROWHAMMER: {
+                DataPattern.ALL_ZEROS: 0.50, DataPattern.ALL_ONES: 0.88,
+                DataPattern.CHECKER_AA: 1.0, DataPattern.CHECKER_55: 0.98,
+            },
+            Mechanism.COMRA: {
+                DataPattern.ALL_ZEROS: 0.60, DataPattern.ALL_ONES: 0.82,
+                DataPattern.CHECKER_AA: 1.0, DataPattern.CHECKER_55: 0.97,
+            },
+            Mechanism.SIMRA: {},
+        },
+        dominant_direction={
+            Mechanism.ROWHAMMER: FlipDirection.ZERO_TO_ONE,
+            Mechanism.COMRA: FlipDirection.ZERO_TO_ONE,
+            Mechanism.SIMRA: FlipDirection.ONE_TO_ZERO,
+        },
+        direction_ratio_median={
+            Mechanism.ROWHAMMER: 3.0, Mechanism.COMRA: 1.5, Mechanism.SIMRA: 22.0,
+        },
+        direction_ratio_sigma={
+            Mechanism.ROWHAMMER: 0.5, Mechanism.COMRA: 0.4, Mechanism.SIMRA: 0.7,
+        },
+        press_anchors=_press(_RH_PRESS, _COMRA_PRESS, _SIMRA_PRESS),
+        # Obs. 8: only 1.18x increase from 7.5 ns to 12 ns.
+        comra_latency_decay={7.5: 1.0, 9.0: 0.95, 10.5: 0.90, 12.0: 0.847},
+        # Obs. 10: up to 2.25x spatial span.
+        spatial_profile={
+            Mechanism.ROWHAMMER: (0.90, 1.00, 1.12, 1.05, 0.95),
+            Mechanism.COMRA: (0.72, 0.95, 1.20, 1.62, 1.05),
+            Mechanism.SIMRA: (1.0, 1.0, 1.0, 1.0, 1.0),
+        },
+        eta_mean=dict(_DEFAULT_ETA),
+    ),
+    Vendor.SAMSUNG: VendorCalibration(
+        vendor=Vendor.SAMSUNG,
+        supports_simra=False,
+        # Obs. 4: 2.13x from 50 to 80 degC for minima; averages gentler.
+        temp_slope_mean=_temp(0.0, 0.0156, 0.0),
+        temp_slope_sd={
+            Mechanism.ROWHAMMER: 0.006,
+            Mechanism.COMRA: 0.008,
+            Mechanism.SIMRA: 0.0,
+        },
+        # Obs. 3 example: Samsung average HC_first 17346 at 0x55 vs 21423 at
+        # 0x00 -> coupling ratio ~0.81.
+        pattern_coupling={
+            Mechanism.ROWHAMMER: {
+                DataPattern.ALL_ZEROS: 0.60, DataPattern.ALL_ONES: 0.90,
+                DataPattern.CHECKER_AA: 0.99, DataPattern.CHECKER_55: 1.0,
+            },
+            Mechanism.COMRA: {
+                DataPattern.ALL_ZEROS: 0.81, DataPattern.ALL_ONES: 0.88,
+                DataPattern.CHECKER_AA: 0.98, DataPattern.CHECKER_55: 1.0,
+            },
+            Mechanism.SIMRA: {},
+        },
+        dominant_direction={
+            Mechanism.ROWHAMMER: FlipDirection.ZERO_TO_ONE,
+            Mechanism.COMRA: FlipDirection.ZERO_TO_ONE,
+            Mechanism.SIMRA: FlipDirection.ONE_TO_ZERO,
+        },
+        direction_ratio_median={
+            Mechanism.ROWHAMMER: 3.0, Mechanism.COMRA: 1.25, Mechanism.SIMRA: 22.0,
+        },
+        direction_ratio_sigma={
+            Mechanism.ROWHAMMER: 0.5, Mechanism.COMRA: 0.3, Mechanism.SIMRA: 0.7,
+        },
+        press_anchors=_press(_RH_PRESS, _COMRA_PRESS, _SIMRA_PRESS),
+        # Obs. 8: 1.17x increase from 7.5 ns to 12 ns.
+        comra_latency_decay={7.5: 1.0, 9.0: 0.96, 10.5: 0.91, 12.0: 0.855},
+        # Obs. 11: middle-of-subarray victims most vulnerable; 2.57x span.
+        spatial_profile={
+            Mechanism.ROWHAMMER: (0.88, 1.00, 1.20, 1.00, 0.90),
+            Mechanism.COMRA: (0.63, 1.00, 1.62, 1.05, 0.80),
+            Mechanism.SIMRA: (1.0, 1.0, 1.0, 1.0, 1.0),
+        },
+        eta_mean=dict(_DEFAULT_ETA),
+    ),
+    Vendor.NANYA: VendorCalibration(
+        vendor=Vendor.NANYA,
+        supports_simra=False,
+        # Obs. 4: 1.14x from 50 to 80 degC.
+        temp_slope_mean=_temp(0.0, 0.00437, 0.0),
+        temp_slope_sd={
+            Mechanism.ROWHAMMER: 0.006,
+            Mechanism.COMRA: 0.004,
+            Mechanism.SIMRA: 0.0,
+        },
+        # §4.3 footnote 1: Nanya's true/anti-cell pattern prevents bitflips
+        # with solid 0x00/0xFF patterns within a refresh window.
+        pattern_coupling={
+            Mechanism.ROWHAMMER: {
+                DataPattern.ALL_ZEROS: 0.02, DataPattern.ALL_ONES: 0.02,
+                DataPattern.CHECKER_AA: 1.0, DataPattern.CHECKER_55: 0.98,
+            },
+            Mechanism.COMRA: {
+                DataPattern.ALL_ZEROS: 0.02, DataPattern.ALL_ONES: 0.02,
+                DataPattern.CHECKER_AA: 1.0, DataPattern.CHECKER_55: 0.97,
+            },
+            Mechanism.SIMRA: {},
+        },
+        dominant_direction={
+            Mechanism.ROWHAMMER: FlipDirection.ZERO_TO_ONE,
+            Mechanism.COMRA: FlipDirection.ZERO_TO_ONE,
+            Mechanism.SIMRA: FlipDirection.ONE_TO_ZERO,
+        },
+        direction_ratio_median={
+            Mechanism.ROWHAMMER: 1.6, Mechanism.COMRA: 1.6, Mechanism.SIMRA: 22.0,
+        },
+        direction_ratio_sigma={
+            Mechanism.ROWHAMMER: 0.4, Mechanism.COMRA: 0.4, Mechanism.SIMRA: 0.7,
+        },
+        press_anchors=_press(_RH_PRESS, _COMRA_PRESS, _SIMRA_PRESS),
+        # Obs. 8: 3.01x increase from 7.5 ns to 12 ns.
+        comra_latency_decay={7.5: 1.0, 9.0: 0.73, 10.5: 0.49, 12.0: 0.3322},
+        # Obs. 10: only 1.04x spatial span -- nearly flat.
+        spatial_profile={
+            Mechanism.ROWHAMMER: (1.01, 1.00, 1.00, 0.99, 0.99),
+            Mechanism.COMRA: (1.02, 1.01, 1.00, 0.99, 0.98),
+            Mechanism.SIMRA: (1.0, 1.0, 1.0, 1.0, 1.0),
+        },
+        mixed_cells_within_row=True,
+        anti_cell_row_fraction=0.5,
+        eta_mean=dict(_DEFAULT_ETA),
+    ),
+}
+
+
+def vendor_calibration(vendor: Vendor) -> VendorCalibration:
+    try:
+        return VENDOR_CALIBRATIONS[vendor]
+    except KeyError:
+        raise CalibrationError(f"no calibration for vendor {vendor!r}") from None
+
+
+#: TRR parameters of the §7 SK Hynix module, uncovered with U-TRR: a
+#: sampling-based tracker that probabilistically samples one aggressor among
+#: the last 450 ACTs before a TRR-capable REF.
+TRR_SAMPLER_WINDOW = 450
+#: Every Nth REF is TRR-capable in the modeled module (matches U-TRR's
+#: finding that only a subset of REFs perform targeted refreshes).
+TRR_CAPABLE_REF_PERIOD = 4
+#: Maximum ACTs the controller can issue to one bank per tREFI (§7: 156).
+MAX_ACTS_PER_TREFI = 156

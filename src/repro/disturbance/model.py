@@ -1,0 +1,981 @@
+"""Behavioral read-disturbance model of one simulated DRAM module.
+
+This module is the "silicon" of the reproduction.  The bank engine
+(:mod:`repro.dram.bank`) folds raw DDR4 command streams into
+:class:`~repro.dram.commands.ActivationEvent` objects; this model converts
+each event into *damage* on physically neighboring victim rows and, when a
+row is read back, materializes bitflips into its stored data.
+
+Core ideas (see DESIGN.md §4):
+
+* Every victim row has a reference threshold ``hc_ref`` -- its HC_first
+  under double-sided RowHammer at 80 degC / worst-case data pattern /
+  nominal timings -- sampled from a lognormal fitted to the paper's Table 2.
+* Damage is accumulated per (mechanism, flip-direction) pool in
+  *threshold-fraction* units: one double-sided RowHammer iteration at
+  reference conditions adds exactly ``1 / hc_ref``.
+* Mechanism multipliers (CoMRA pair boost, SiMRA group boost), condition
+  factors (temperature, data pattern coupling, tAggOn/tAggOff, PRE->ACT
+  latency, subarray region) scale the per-event increment.
+* A direction pool flips cells once its *coupled* damage (own pool plus
+  eta-weighted other-mechanism pools) crosses 1.0; flip counts follow a
+  per-cell lognormal threshold CDF.
+
+All randomness is deterministic per (module serial, row, purpose), so a
+module is a reproducible virtual chip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..dram.commands import ActivationEvent
+from ..dram.errors import CalibrationError
+from ..dram.organization import ModuleGeometry, REGION_ORDER
+from .calibration import (
+    ALL_PATTERNS,
+    COMRA_PROB_BETTER,
+    DataPattern,
+    FlipDirection,
+    Mechanism,
+    ModuleCalibration,
+    SIMRA_COUNTS,
+    SIMRA_HI_MEDIAN,
+    SIMRA_HI_SIGMA,
+    SIMRA_P_HI,
+    SIMRA_PROB_BETTER,
+    VendorCalibration,
+    vendor_calibration,
+)
+from .distributions import (
+    Lognormal,
+    MixtureRatio,
+    fit_lognormal_min_avg,
+    log_interp,
+    normal_cdf,
+    rng_for,
+    solve_ratio_lognormal,
+)
+
+#: Opposite-neighbor hits within this many victim-hit events count as
+#: double-sided synergy (alternating double-sided patterns always qualify).
+SYNERGY_HIT_WINDOW = 3
+
+#: Reference temperature: the paper conducts all experiments at 80 degC
+#: unless stated otherwise, and hc_ref is defined there.
+REFERENCE_TEMPERATURE_C = 80.0
+
+#: Population size assumed when fitting per-config lognormals from the
+#: reported (min, avg): the paper tests six subarrays x ~512 rows x modules.
+_FIT_POPULATION = 6 * 512 * 2
+
+
+@dataclass
+class RowProfile:
+    """All sampled per-row fault-model parameters (lazily constructed)."""
+
+    hc_ref: float
+    ss_penalty: float
+    comra_ratio: float
+    direction_ratio: dict[Mechanism, float]
+    temp_slope: dict[Mechanism, float]
+    eta: dict[tuple[Mechanism, Mechanism], float]
+    region_index: int
+    partial_susceptible: bool
+    pattern_noise: dict[DataPattern, float]
+    copy_dir_noise: dict[bool, float]
+    press_noise: float
+    weak_cells: int
+    retention_ns: float
+    simra_ratio: dict[int, float] = field(default_factory=dict)
+
+
+class _RowState:
+    """Mutable per-row damage bookkeeping."""
+
+    __slots__ = ("damage", "flips_applied", "flipped_cells", "hit_counter",
+                 "last_side_hit")
+
+    def __init__(self) -> None:
+        # (mechanism, direction) -> accumulated threshold fraction
+        self.damage: dict[tuple[Mechanism, FlipDirection], float] = {}
+        self.flips_applied: dict[FlipDirection, int] = {
+            FlipDirection.ONE_TO_ZERO: 0,
+            FlipDirection.ZERO_TO_ONE: 0,
+        }
+        # cells that flipped since the last charge restoration: a
+        # discharged cell cannot immediately flip back, so the opposite
+        # direction must skip them until the next restore
+        self.flipped_cells: set[int] = set()
+        # victim-hit ordinal counter and the ordinal of the last hit from
+        # each side (-1 = below, +1 = above), for synergy detection
+        self.hit_counter = 0
+        self.last_side_hit: dict[int, int] = {}
+
+
+class DisturbanceModel:
+    """Read-disturbance physics for one module's bank.
+
+    One instance is shared by all banks of a module; row addresses are
+    namespaced by bank internally.
+    """
+
+    def __init__(
+        self,
+        geometry: ModuleGeometry,
+        calibration: ModuleCalibration,
+        serial: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.calibration = calibration
+        self.vendor_cal: VendorCalibration = vendor_calibration(calibration.vendor)
+        self.serial = serial
+
+        self._hc_dist = fit_lognormal_min_avg(
+            calibration.rh_min, calibration.rh_avg, _FIT_POPULATION
+        )
+        self._comra_ratio_dist = solve_ratio_lognormal(
+            mean_inverse=calibration.comra_avg / calibration.rh_avg,
+            prob_above_one=COMRA_PROB_BETTER,
+        )
+        self._simra_mixture: Optional[MixtureRatio] = None
+        if calibration.supports_simra and self.vendor_cal.supports_simra:
+            assert calibration.simra_avg is not None
+            self._simra_mixture = MixtureRatio.solve(
+                mean_inverse=calibration.simra_avg / calibration.rh_avg,
+                p_hi=SIMRA_P_HI,
+                hi_median=SIMRA_HI_MEDIAN,
+                hi_sigma=SIMRA_HI_SIGMA,
+            )
+
+        self._profiles: dict[tuple[int, int], RowProfile] = {}
+        self._states: dict[tuple[int, int], _RowState] = {}
+        self._sentinels = self._assign_sentinels()
+
+    # ------------------------------------------------------------------
+    # Sentinel rows: one row per mechanism whose reference HC_first equals
+    # the Table 2 minimum, so scaled-down populations still reproduce the
+    # paper's headline minima (full-scale populations would hit them by
+    # sampling alone).
+    # ------------------------------------------------------------------
+    def _assign_sentinels(self) -> dict[tuple[int, int], Mechanism]:
+        geom = self.geometry
+        # Subarray 2 sits in every tested-subarray preset (ExperimentScale
+        # tests subarrays from the beginning, middle and end of the bank).
+        subarray = min(2, geom.subarrays_per_bank - 1)
+        base = subarray * geom.rows_per_subarray + geom.rows_per_subarray // 2
+        sentinels: dict[tuple[int, int], Mechanism] = {
+            (0, base): Mechanism.ROWHAMMER,
+            (0, base + 4): Mechanism.COMRA,
+        }
+        if self.supports_simra:
+            # The SiMRA sentinel must be *sandwichable* by stride-2 decoder
+            # groups of every N: odd offset 9 within its 32-row block keeps
+            # the even neighbors 8 and 10 inside aligned windows for
+            # N = 2/4/8/16.
+            block = ((base + 8) // 32) * 32
+            sentinels[(0, block + 9)] = Mechanism.SIMRA
+        return sentinels
+
+    @property
+    def supports_simra(self) -> bool:
+        return (
+            self.calibration.supports_simra and self.vendor_cal.supports_simra
+        )
+
+    def sentinel_row(self, mechanism: Mechanism, bank: int = 0) -> Optional[int]:
+        """Physical row whose HC_first hits the configured minimum."""
+        for (b, row), mech in self._sentinels.items():
+            if mech is mechanism and b == bank:
+                return row
+        return None
+
+    # ------------------------------------------------------------------
+    # Per-row profile sampling
+    # ------------------------------------------------------------------
+    def profile(self, bank: int, row: int) -> RowProfile:
+        key = (bank, row)
+        prof = self._profiles.get(key)
+        if prof is None:
+            prof = self._sample_profile(bank, row)
+            self._profiles[key] = prof
+        return prof
+
+    def _sample_profile(self, bank: int, row: int) -> RowProfile:
+        cal = self.calibration
+        vc = self.vendor_cal
+        sentinel = self._sentinels.get((bank, row))
+
+        rng = rng_for(cal.config_id, self.serial, bank, row)
+        # Table 2's minima are *population* minima: no sampled row may
+        # undershoot them (the sentinel rows sit exactly on them).
+        hc_ref = max(float(self._hc_dist.sample(rng)), 0.95 * cal.rh_min)
+        comra_ratio = float(self._comra_ratio_dist.sample(rng))
+        comra_ratio = min(comra_ratio, hc_ref / (0.95 * cal.comra_min))
+
+        ss_pen = float(
+            Lognormal(math.log(vc.ss_penalty_median), vc.ss_penalty_sigma).sample(rng)
+        )
+        direction_ratio = {
+            mech: float(
+                Lognormal(
+                    math.log(vc.direction_ratio_median[mech]),
+                    vc.direction_ratio_sigma[mech],
+                ).sample(rng)
+            )
+            for mech in Mechanism
+        }
+        temp_slope = {
+            mech: float(
+                rng.normal(vc.temp_slope_mean.get(mech, 0.0),
+                           vc.temp_slope_sd.get(mech, 0.0))
+            )
+            for mech in Mechanism
+        }
+        eta: dict[tuple[Mechanism, Mechanism], float] = {}
+        for pair, mean in vc.eta_mean.items():
+            noise = float(rng.lognormal(0.0, vc.eta_sigma))
+            value = min(0.9, mean * noise)
+            if pair[0] is Mechanism.SIMRA and rng.random() < vc.eta_simra_zero_prob:
+                value = 0.0
+            eta[pair] = value
+
+        region_index = REGION_ORDER.index(self.geometry.region_of_row(row))
+        partial_susceptible = bool(rng.random() < vc.simra_partial_prob)
+        pattern_noise = {
+            pattern: float(rng.lognormal(0.0, 0.08)) for pattern in ALL_PATTERNS
+        }
+        copy_dir_noise = {}
+        for forward in (True, False):
+            if rng.random() < vc.copy_direction_tail_prob:
+                noise = float(rng.lognormal(0.0, vc.copy_direction_tail_sigma))
+            else:
+                noise = float(rng.lognormal(0.0, vc.copy_direction_sigma))
+            copy_dir_noise[forward] = noise
+        press_noise = float(rng.lognormal(0.0, 0.12))
+        weak_cells = max(
+            8, int(self.geometry.columns * vc.weak_cell_fraction * rng.uniform(0.6, 1.4))
+        )
+        retention_ns = float(
+            Lognormal(math.log(vc.retention_median_ns), vc.retention_sigma).sample(rng)
+        )
+
+        prof = RowProfile(
+            hc_ref=hc_ref,
+            ss_penalty=ss_pen,
+            comra_ratio=comra_ratio,
+            direction_ratio=direction_ratio,
+            temp_slope=temp_slope,
+            eta=eta,
+            region_index=region_index,
+            partial_susceptible=partial_susceptible,
+            pattern_noise=pattern_noise,
+            copy_dir_noise=copy_dir_noise,
+            press_noise=press_noise,
+            weak_cells=weak_cells,
+            retention_ns=retention_ns,
+        )
+        for count in SIMRA_COUNTS:
+            ratio = self._sample_simra_ratio(rng, count)
+            if cal.simra_min:
+                ratio = min(ratio, hc_ref / (0.95 * cal.simra_min))
+            prof.simra_ratio[count] = ratio
+
+        if sentinel is not None:
+            self._pin_sentinel(prof, sentinel)
+        return prof
+
+    def _sample_simra_ratio(self, rng: np.random.Generator, count: int) -> float:
+        """Sample the double-sided SiMRA HC_first reduction factor for one N.
+
+        The mixture reproduces Obs. 12's bimodality; the sample is then
+        shifted so that P(ratio > 1) matches the per-N improve fraction.
+        """
+        if self._simra_mixture is None:
+            return 1.0
+        ratio = self._simra_mixture.sample(rng)
+        prob_better = SIMRA_PROB_BETTER.get(count, 0.95)
+        if rng.random() > prob_better:
+            # This victim regresses under SiMRA (Obs. 12's tail).
+            ratio = float(rng.uniform(0.55, 0.98))
+        else:
+            ratio = max(ratio, 1.001)
+        return ratio
+
+    def _pin_sentinel(self, prof: RowProfile, mechanism: Mechanism) -> None:
+        """Force a row's reference HC_first to the Table 2 minimum."""
+        cal = self.calibration
+        region = self._region_factor(prof, Mechanism.ROWHAMMER, None)
+        prof.pattern_noise = {p: 1.0 for p in ALL_PATTERNS}
+        prof.press_noise = 1.0
+        prof.copy_dir_noise = {True: 1.0, False: 1.0}
+        prof.temp_slope = dict(prof.temp_slope)
+        if mechanism is Mechanism.ROWHAMMER:
+            prof.hc_ref = cal.rh_min * region
+        elif mechanism is Mechanism.COMRA:
+            prof.hc_ref = cal.rh_min * 1.15
+            region_c = self._region_factor(prof, Mechanism.COMRA, None)
+            prof.comra_ratio = prof.hc_ref / (cal.comra_min * region_c)
+        elif mechanism is Mechanism.SIMRA and cal.simra_min is not None:
+            prof.hc_ref = cal.rh_min * 1.10
+            # The paper's deepest reduction example uses 4-row activation
+            # (158.58x at N = 4, Obs. 12); pin N = 4 to the minimum and
+            # keep the other counts within 1.3x of it (non-monotonic in N).
+            for count in SIMRA_COUNTS:
+                region_s = self._region_factor(prof, Mechanism.SIMRA, count)
+                target = cal.simra_min * (1.0 if count == 4 else 1.27)
+                prof.simra_ratio[count] = prof.hc_ref / (target * region_s)
+
+    # ------------------------------------------------------------------
+    # Condition factors
+    # ------------------------------------------------------------------
+    def _region_factor(
+        self, prof: RowProfile, mechanism: Mechanism, simra_count: Optional[int]
+    ) -> float:
+        vc = self.vendor_cal
+        if (
+            mechanism is Mechanism.SIMRA
+            and simra_count is not None
+            and simra_count in vc.simra_spatial_by_count
+        ):
+            profile = vc.simra_spatial_by_count[simra_count]
+        else:
+            profile = vc.spatial_profile[mechanism]
+        return profile[prof.region_index]
+
+    def _temperature_factor(
+        self, prof: RowProfile, mechanism: Mechanism, temperature_c: float
+    ) -> float:
+        slope = prof.temp_slope.get(mechanism, 0.0)
+        return math.exp(slope * (temperature_c - REFERENCE_TEMPERATURE_C))
+
+    def _press_factor(
+        self, prof: RowProfile, mechanism: Mechanism, t_agg_on_ns: float
+    ) -> float:
+        anchors = self.vendor_cal.press_anchors[mechanism]
+        base = log_interp(max(t_agg_on_ns, 36.0), anchors)
+        if base <= 1.0:
+            return base
+        # Noise scales the *excess* over the hammering baseline so nominal
+        # tRAS hammering stays exactly calibrated.
+        return 1.0 + (base - 1.0) * prof.press_noise
+
+    #: tAggOff normalization: per-ACT damage grows logarithmically with the
+    #: gap since the aggressor last closed (RowPress prior work; drives
+    #: Obs. 5's single-sided CoMRA > single-sided RowHammer ordering).  The
+    #: factor is normalized to the double-sided reference loop's natural gap
+    #: (~tRP + tRAS + tRP = 63 ns) so hc_ref stays exactly calibrated, and
+    #: saturates there: back-to-back single-sided hammering (gap ~ tRP) is
+    #: penalized, longer gaps gain nothing beyond the reference.
+    _AGGOFF_MIN_GAP_NS = 13.5
+    _AGGOFF_REF_GAP_NS = 63.0
+    _AGGOFF_COEFF = 0.17
+
+    def _aggoff_factor(self, t_agg_off_ns: Optional[float]) -> float:
+        if t_agg_off_ns is None:
+            return 1.0
+        gap = max(self._AGGOFF_MIN_GAP_NS, t_agg_off_ns)
+        raw = 1.0 + self._AGGOFF_COEFF * math.log2(gap / self._AGGOFF_MIN_GAP_NS)
+        reference = 1.0 + self._AGGOFF_COEFF * math.log2(
+            self._AGGOFF_REF_GAP_NS / self._AGGOFF_MIN_GAP_NS
+        )
+        return min(raw, reference) / reference
+
+    def _pattern_factor(
+        self,
+        prof: RowProfile,
+        mechanism: Mechanism,
+        aggressor_pattern: Optional[DataPattern],
+    ) -> float:
+        if aggressor_pattern is None:
+            return 0.95  # unclassifiable aggressor data: near-median coupling
+        table = self.vendor_cal.pattern_coupling.get(mechanism) or {}
+        coupling = table.get(aggressor_pattern, 0.9)
+        return coupling * prof.pattern_noise[aggressor_pattern]
+
+    def _comra_latency_factor(self, pre_to_act_ns: float) -> float:
+        table = self.vendor_cal.comra_latency_decay
+        keys = sorted(table)
+        if pre_to_act_ns <= keys[0]:
+            return table[keys[0]]
+        if pre_to_act_ns >= keys[-1]:
+            return table[keys[-1]]
+        for lo, hi in zip(keys, keys[1:]):
+            if lo <= pre_to_act_ns <= hi:
+                t = (pre_to_act_ns - lo) / (hi - lo)
+                return table[lo] + t * (table[hi] - table[lo])
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _simra_preact_factor(self, pre_to_act_ns: Optional[float]) -> float:
+        if pre_to_act_ns is None:
+            return 1.0
+        slope = self.vendor_cal.simra_pre_act_slope_per_ns
+        return max(0.5, 1.0 + slope * (pre_to_act_ns - 3.0))
+
+    def _simra_partial_factor(
+        self, prof: RowProfile, act_to_pre_ns: Optional[float]
+    ) -> float:
+        if act_to_pre_ns is None or act_to_pre_ns > 1.6:
+            return 1.0
+        if prof.partial_susceptible:
+            return self.vendor_cal.simra_partial_weight
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    def _state(self, bank: int, row: int) -> _RowState:
+        key = (bank, row)
+        state = self._states.get(key)
+        if state is None:
+            state = _RowState()
+            self._states[key] = state
+        return state
+
+    def restore_row(self, bank: int, row: int) -> None:
+        """Charge restoration (ACT or refresh) clears accumulated damage."""
+        key = (bank, row)
+        state = self._states.get(key)
+        if state is not None:
+            state.damage.clear()
+            state.flips_applied = {
+                FlipDirection.ONE_TO_ZERO: 0,
+                FlipDirection.ZERO_TO_ONE: 0,
+            }
+            state.flipped_cells.clear()
+
+    def damage_fraction(self, bank: int, row: int) -> dict[tuple[Mechanism, FlipDirection], float]:
+        """Current raw damage pools of a row (inspection/testing hook)."""
+        return dict(self._state(bank, row).damage)
+
+    def coupled_damage(self, bank: int, row: int, direction: FlipDirection) -> float:
+        """Effective damage for one flip direction, eta-coupling included.
+
+        The effective value is the max over mechanisms of the pool's own
+        damage plus eta-weighted contributions from the other mechanisms'
+        pools, which reproduces §6's combined-pattern arithmetic.  Cross-
+        mechanism transfer is *direction-agnostic*: pre-hammering damage
+        acts through shared trap sites regardless of which polarity it
+        would itself flip (SiMRA's 1->0 pre-hammering still softens cells
+        toward RowHammer's 0->1 flips, Obs. 23).
+        """
+        state = self._states.get((bank, row))
+        if not state or not state.damage:
+            return 0.0
+        prof = self.profile(bank, row)
+        best = 0.0
+        mechanisms = {m for (m, _) in state.damage}
+        for mech in mechanisms:
+            own = state.damage.get((mech, direction), 0.0)
+            coupled = own
+            for other in mechanisms:
+                if other is mech:
+                    continue
+                eta = prof.eta.get((other, mech), 0.0)
+                coupled += eta * (
+                    state.damage.get((other, direction), 0.0)
+                    + state.damage.get((other, direction.opposite), 0.0)
+                )
+            best = max(best, coupled)
+        return best
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply_event(
+        self,
+        event: ActivationEvent,
+        temperature_c: float = REFERENCE_TEMPERATURE_C,
+        aggressor_pattern: Optional[DataPattern] = None,
+        times: float = 1,
+    ) -> None:
+        """Accrue damage from one completed activation event.
+
+        ``times`` scales the increments, letting the host apply one recorded
+        loop iteration ``n`` times (damage is linear in iteration count).
+        """
+        if times <= 0:
+            return
+        if event.kind is ActivationEvent.Kind.SIMRA:
+            self._apply_simra(event, temperature_c, aggressor_pattern, times)
+        elif event.kind is ActivationEvent.Kind.COMRA_PAIR:
+            self._apply_comra(event, temperature_c, aggressor_pattern, times)
+        else:
+            self._apply_single(event, temperature_c, aggressor_pattern, times)
+
+    # -- single-row activation -----------------------------------------
+    #
+    # Hammer loops repeat the same event millions of times, so each event
+    # shape compiles once into a "deposit plan": a list of per-victim
+    # increments with all static factors folded in.  Applying a plan is a
+    # handful of dict operations; only double-sided synergy (which depends
+    # on interleaving) is resolved at apply time.
+
+    def _plan_cache(self) -> dict:
+        cache = getattr(self, "_plans", None)
+        if cache is None:
+            cache = {}
+            self._plans = cache
+        if len(cache) > 50_000:
+            cache.clear()
+        return cache
+
+    @staticmethod
+    def _event_time_key(event: ActivationEvent) -> tuple:
+        return (
+            round(event.t_agg_on_ns, 1),
+            round(event.pre_to_act_ns, 1) if event.pre_to_act_ns is not None else None,
+            round(event.simra_act_to_pre_ns, 1)
+            if event.simra_act_to_pre_ns is not None
+            else None,
+            tuple(sorted((r, round(v, 1)) for r, v in event.t_agg_off_ns.items())),
+        )
+
+    def _apply_plan(self, plan: list, times: float) -> None:
+        for state, side, dom_key, oth_key, inc_dom, inc_oth, penalty in plan:
+            if side is None:
+                # sandwiched double-sided hit: both wordlines toggle
+                state.hit_counter += 1
+                state.last_side_hit[-1] = state.hit_counter
+                state.last_side_hit[1] = state.hit_counter
+                scale = float(times)
+            else:
+                state.hit_counter += 1
+                state.last_side_hit[side] = state.hit_counter
+                other = state.last_side_hit.get(-side)
+                synergy = (
+                    other is not None
+                    and state.hit_counter - other <= SYNERGY_HIT_WINDOW
+                )
+                scale = float(times) if synergy else times / penalty
+            damage = state.damage
+            damage[dom_key] = damage.get(dom_key, 0.0) + inc_dom * scale
+            damage[oth_key] = damage.get(oth_key, 0.0) + inc_oth * scale
+
+    def _plan_entry(
+        self,
+        bank: int,
+        victim: int,
+        prof: RowProfile,
+        mechanism: Mechanism,
+        weight: float,
+        side,
+    ) -> tuple:
+        dominant = self.vendor_cal.dominant_direction[mechanism]
+        ratio = max(prof.direction_ratio.get(mechanism, 1.0), 1.0)
+        increment = weight / prof.hc_ref
+        return (
+            self._state(bank, victim),
+            side,
+            (mechanism, dominant),
+            (mechanism, dominant.opposite),
+            increment,
+            increment / ratio,
+            prof.ss_penalty,
+        )
+
+    def _apply_single(
+        self,
+        event: ActivationEvent,
+        temperature_c: float,
+        aggressor_pattern: Optional[DataPattern],
+        times: float,
+    ) -> None:
+        (aggressor,) = event.rows
+        key = (
+            "single", event.bank, aggressor, temperature_c, aggressor_pattern,
+            self._event_time_key(event),
+        )
+        cache = self._plan_cache()
+        plan = cache.get(key)
+        if plan is None:
+            plan = self._build_single_plan(event, temperature_c, aggressor_pattern)
+            cache[key] = plan
+        self._apply_plan(plan, times)
+
+    def _build_single_plan(
+        self,
+        event: ActivationEvent,
+        temperature_c: float,
+        aggressor_pattern: Optional[DataPattern],
+    ) -> list:
+        (aggressor,) = event.rows
+        mech = Mechanism.ROWHAMMER
+        plan = []
+        aggoff = self._aggoff_factor(event.t_agg_off_ns.get(aggressor))
+        for distance, dist_weight in self._distance_weights():
+            for victim in self.geometry.neighbors(aggressor, distance):
+                prof = self.profile(event.bank, victim)
+                side = 1 if aggressor > victim else -1
+                weight = 0.5 * dist_weight * aggoff
+                weight *= self._common_factors(
+                    prof, mech, event.t_agg_on_ns, temperature_c,
+                    aggressor_pattern, simra_count=None,
+                )
+                plan.append(
+                    self._plan_entry(event.bank, victim, prof, mech, weight, side)
+                )
+        return plan
+
+    # -- CoMRA pair -------------------------------------------------------
+    def _apply_comra(
+        self,
+        event: ActivationEvent,
+        temperature_c: float,
+        aggressor_pattern: Optional[DataPattern],
+        times: float,
+    ) -> None:
+        key = (
+            "comra", event.bank, event.rows, temperature_c, aggressor_pattern,
+            self._event_time_key(event),
+        )
+        cache = self._plan_cache()
+        plan = cache.get(key)
+        if plan is None:
+            plan = self._build_comra_plan(event, temperature_c, aggressor_pattern)
+            cache[key] = plan
+        self._apply_plan(plan, times)
+
+    def _build_comra_plan(
+        self,
+        event: ActivationEvent,
+        temperature_c: float,
+        aggressor_pattern: Optional[DataPattern],
+    ) -> list:
+        src, dst = event.rows
+        mech = Mechanism.COMRA
+        latency = self._comra_latency_factor(event.pre_to_act_ns or 7.5)
+        forward = src < dst
+        plan = []
+
+        sandwiched = set()
+        if abs(src - dst) == 2 and self.geometry.same_subarray(src, dst):
+            victim = (src + dst) // 2
+            sandwiched.add(victim)
+            prof = self.profile(event.bank, victim)
+            weight = (
+                prof.comra_ratio
+                * latency
+                * prof.copy_dir_noise[forward]
+                * self._common_factors(
+                    prof, mech, event.t_agg_on_ns, temperature_c,
+                    aggressor_pattern, simra_count=None,
+                )
+            )
+            plan.append(
+                self._plan_entry(event.bank, victim, prof, mech, weight, None)
+            )
+
+        # Non-sandwiched neighbors of src and dst see single-sided hits;
+        # the copy does not boost them (Obs. 5: single-sided CoMRA tracks
+        # far double-sided RowHammer), but tAggOff does.
+        for aggressor in (src, dst):
+            aggoff = self._aggoff_factor(event.t_agg_off_ns.get(aggressor))
+            for distance, dist_weight in self._distance_weights():
+                for victim in self.geometry.neighbors(aggressor, distance):
+                    if victim in sandwiched:
+                        continue
+                    prof = self.profile(event.bank, victim)
+                    side = 1 if aggressor > victim else -1
+                    weight = 0.5 * dist_weight * aggoff
+                    if aggressor == dst:
+                        weight *= prof.copy_dir_noise[forward]
+                    weight *= self._common_factors(
+                        prof, mech, event.t_agg_on_ns, temperature_c,
+                        aggressor_pattern, simra_count=None,
+                    )
+                    plan.append(
+                        self._plan_entry(event.bank, victim, prof, mech, weight, side)
+                    )
+        return plan
+
+    # -- SiMRA group ------------------------------------------------------
+    def _apply_simra(
+        self,
+        event: ActivationEvent,
+        temperature_c: float,
+        aggressor_pattern: Optional[DataPattern],
+        times: float,
+    ) -> None:
+        if not self.supports_simra:
+            return
+        key = (
+            "simra", event.bank, event.rows, temperature_c, aggressor_pattern,
+            self._event_time_key(event),
+        )
+        cache = self._plan_cache()
+        plan = cache.get(key)
+        if plan is None:
+            plan = self._build_simra_plan(event, temperature_c, aggressor_pattern)
+            cache[key] = plan
+        self._apply_plan(plan, times)
+
+    def _build_simra_plan(
+        self,
+        event: ActivationEvent,
+        temperature_c: float,
+        aggressor_pattern: Optional[DataPattern],
+    ) -> list:
+        group = set(event.rows)
+        count = len(group)
+        mech = Mechanism.SIMRA
+        preact = self._simra_preact_factor(event.pre_to_act_ns)
+        plan = []
+
+        victims: set[int] = set()
+        for aggressor in group:
+            for distance in (1, 2):
+                for victim in self.geometry.neighbors(aggressor, distance):
+                    if victim not in group:
+                        victims.add(victim)
+
+        for victim in sorted(victims):
+            prof = self.profile(event.bank, victim)
+            below = victim - 1 in group and self.geometry.same_subarray(victim, victim - 1)
+            above = victim + 1 in group and self.geometry.same_subarray(victim, victim + 1)
+            partial = self._simra_partial_factor(prof, event.simra_act_to_pre_ns)
+            common = self._common_factors(
+                prof, mech, event.t_agg_on_ns, temperature_c,
+                aggressor_pattern, simra_count=count,
+            )
+            if below and above:
+                ratio = prof.simra_ratio.get(count) or 1.0
+                weight = ratio * preact * partial * common
+                side = None
+            elif below or above:
+                side = -1 if below else 1
+                ss_mult = self.vendor_cal.simra_ss_mult.get(count, 1.0)
+                weight = 0.5 * ss_mult * preact * partial * common
+            else:
+                # distance-2 only: treat as an (unsynergized) remote hit
+                side = 1
+                weight = (
+                    0.5 * self.vendor_cal.distance2_weight * preact * partial
+                    * common
+                ) / prof.ss_penalty
+            plan.append(
+                self._plan_entry(event.bank, victim, prof, mech, weight, side)
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    def _distance_weights(self) -> tuple[tuple[int, float], ...]:
+        return ((1, 1.0), (2, self.vendor_cal.distance2_weight))
+
+    def _common_factors(
+        self,
+        prof: RowProfile,
+        mechanism: Mechanism,
+        t_agg_on_ns: float,
+        temperature_c: float,
+        aggressor_pattern: Optional[DataPattern],
+        simra_count: Optional[int],
+    ) -> float:
+        return (
+            self._press_factor(prof, mechanism, t_agg_on_ns)
+            * self._temperature_factor(prof, mechanism, temperature_c)
+            * self._pattern_factor(prof, mechanism, aggressor_pattern)
+            * self._region_factor(prof, mechanism, simra_count)
+        )
+
+    def _note_hit(self, bank: int, victim: int, side: int) -> bool:
+        """Record a hit from ``side`` and report double-sided synergy."""
+        state = self._state(bank, victim)
+        state.hit_counter += 1
+        state.last_side_hit[side] = state.hit_counter
+        other = state.last_side_hit.get(-side)
+        return other is not None and state.hit_counter - other <= SYNERGY_HIT_WINDOW
+
+    def _deposit(
+        self,
+        bank: int,
+        victim: int,
+        prof: RowProfile,
+        mechanism: Mechanism,
+        weight: float,
+        times: int,
+    ) -> None:
+        if weight <= 0:
+            return
+        state = self._state(bank, victim)
+        dominant = self.vendor_cal.dominant_direction[mechanism]
+        ratio = max(prof.direction_ratio.get(mechanism, 1.0), 1.0)
+        increment = weight * times / prof.hc_ref
+        dom_key = (mechanism, dominant)
+        oth_key = (mechanism, dominant.opposite)
+        state.damage[dom_key] = state.damage.get(dom_key, 0.0) + increment
+        state.damage[oth_key] = state.damage.get(oth_key, 0.0) + increment / ratio
+
+    # ------------------------------------------------------------------
+    # Bitflip materialization
+    # ------------------------------------------------------------------
+    def realize_flips(self, bank: int, row: int, data: np.ndarray) -> int:
+        """Apply any newly-earned bitflips to a row's stored bytes.
+
+        Returns the number of bits flipped by this call.  Idempotent at a
+        fixed damage level: flips already applied are tracked per direction.
+        """
+        state = self._states.get((bank, row))
+        if not state or not state.damage:
+            return 0
+        # Cheap early-out: no direction can have crossed its threshold if
+        # even the eta-free damage total is far below 1.
+        if sum(state.damage.values()) < 0.999:
+            return 0
+        prof = self.profile(bank, row)
+        total_new = 0
+        bits = None
+        for direction in FlipDirection:
+            effective = self.coupled_damage(bank, row, direction)
+            if effective < 1.0:
+                continue
+            if bits is None:
+                bits = np.unpackbits(data)
+            target = self._flip_target(prof, effective)
+            already = state.flips_applied[direction]
+            needed = target - already
+            if needed <= 0:
+                continue
+            flipped = self._flip_cells(
+                bank, row, bits, direction, needed, state.flipped_cells
+            )
+            state.flips_applied[direction] += flipped
+            total_new += flipped
+        if total_new and bits is not None:
+            data[:] = np.packbits(bits)
+        return total_new
+
+    def _flip_target(self, prof: RowProfile, effective_damage: float) -> int:
+        """How many cells of a direction should have flipped at this damage.
+
+        Per-cell thresholds are lognormal around the row threshold: the
+        weakest cell flips at damage 1.0, and the flip count follows the
+        threshold CDF above that (drives Fig. 24's flip-count scale).
+        """
+        sigma = self.vendor_cal.cell_sigma
+        # Center the per-cell threshold distribution 2.5 sigma above the
+        # row threshold: the weakest cell flips at damage 1.0 (CDF ~ 0.6%),
+        # and counts ramp along the lognormal CDF as damage grows.
+        quantile = normal_cdf((math.log(effective_damage) - 2.5 * sigma) / sigma)
+        extra = int(prof.weak_cells * quantile)
+        return max(1, extra)
+
+    def _flip_cells(
+        self,
+        bank: int,
+        row: int,
+        bits: np.ndarray,
+        direction: FlipDirection,
+        needed: int,
+        already_flipped: set[int],
+    ) -> int:
+        """Flip the first ``needed`` vulnerable cells in this row's order.
+
+        ``already_flipped`` cells are off limits: a cell that flipped since
+        the last restore has moved its charge and cannot chatter back under
+        the opposite-direction damage within the same epoch.
+        """
+        order = self._flip_order(bank, row, direction)
+        vulnerable_bit = direction.vulnerable_bit
+        flipped = 0
+        for cell in order:
+            if bits[cell] != vulnerable_bit or cell in already_flipped:
+                continue
+            bits[cell] ^= 1
+            already_flipped.add(int(cell))
+            flipped += 1
+            if flipped >= needed:
+                break
+        return flipped
+
+    def _flip_order(self, bank: int, row: int, direction: FlipDirection) -> np.ndarray:
+        cache_name = "_flip_orders"
+        cache = getattr(self, cache_name, None)
+        if cache is None:
+            cache = {}
+            setattr(self, cache_name, cache)
+        key = (bank, row, direction)
+        order = cache.get(key)
+        if order is None:
+            rng = rng_for(
+                self.calibration.config_id, self.serial, bank, row,
+                "flip-order", direction.value,
+            )
+            order = rng.permutation(self.geometry.columns)
+            cache[key] = order
+        return order
+
+    # ------------------------------------------------------------------
+    # Oracles used by tests and the WCDP fast path
+    # ------------------------------------------------------------------
+    def reference_hcfirst(self, bank: int, row: int, mechanism: Mechanism,
+                          simra_count: int = 4) -> float:
+        """Analytic double-sided HC_first at reference conditions.
+
+        This is the model's ground truth; the measurement pipeline should
+        land within bisection precision of it.
+        """
+        prof = self.profile(bank, row)
+        region = self._region_factor(
+            prof, mechanism, simra_count if mechanism is Mechanism.SIMRA else None
+        )
+        if mechanism is Mechanism.ROWHAMMER:
+            weight = region
+        elif mechanism is Mechanism.COMRA:
+            weight = prof.comra_ratio * region
+        else:
+            if not self.supports_simra:
+                return math.inf
+            weight = (prof.simra_ratio.get(simra_count) or 1.0) * region
+        best_pattern = self.worst_case_pattern(bank, row, mechanism)
+        weight *= self._pattern_factor(prof, mechanism, best_pattern)
+        return prof.hc_ref / weight
+
+    def worst_case_pattern(
+        self, bank: int, row: int, mechanism: Mechanism
+    ) -> DataPattern:
+        """The aggressor pattern minimizing HC_first for this victim row.
+
+        Experiments can either *measure* WCDP the way the paper does (four
+        HC_first searches) or consult this oracle for speed; tests verify
+        both agree.
+        """
+        prof = self.profile(bank, row)
+        ratio = max(prof.direction_ratio.get(mechanism, 1.0), 1.0)
+        dominant = self.vendor_cal.dominant_direction[mechanism]
+
+        def effectiveness(pattern: DataPattern) -> float:
+            coupling = self._pattern_factor(prof, mechanism, pattern)
+            victim = pattern.negated
+            # Victim polarity availability: the dominant direction needs
+            # cells storing its vulnerable bit.
+            if victim.ones_fraction in (0.0, 1.0):
+                has_dominant = (
+                    victim.ones_fraction == 1.0
+                    if dominant is FlipDirection.ONE_TO_ZERO
+                    else victim.ones_fraction == 0.0
+                )
+                direction_weight = 1.0 if has_dominant else 1.0 / ratio
+            else:
+                direction_weight = 1.0
+            return coupling * direction_weight
+
+        return max(ALL_PATTERNS, key=effectiveness)
+
+
+def classify_pattern(data: np.ndarray) -> Optional[DataPattern]:
+    """Best-effort classification of a row's bytes as a standard pattern."""
+    if data.size == 0:
+        return None
+    values, counts = np.unique(data, return_counts=True)
+    top = int(values[np.argmax(counts)])
+    if counts.max() < 0.9 * data.size:
+        return None
+    for pattern in ALL_PATTERNS:
+        if pattern.byte == top:
+            return pattern
+    return None

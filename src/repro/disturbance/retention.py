@@ -1,0 +1,126 @@
+"""Data-retention failure model.
+
+DRAM cells leak charge; if a row is not refreshed (or otherwise activated)
+within its retention time, its weakest cells lose their data.  PuDHammer's
+§7 methodology relies on this indirectly: U-TRR locates "canary" rows with
+known, short retention times and uses their failures to detect when the
+in-DRAM TRR mechanism preventively refreshed them.
+
+The model is per-row: a row's retention time is the retention of its weakest
+cell (lognormal across rows); once the elapsed time since the last charge
+restoration exceeds k multiples of the retention time, k weak cells have
+decayed.  Decay direction depends on the row's true-/anti-cell layout: true
+cells discharge toward 0, anti cells toward 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..dram.organization import ModuleGeometry
+from .calibration import ModuleCalibration, vendor_calibration
+from .distributions import Lognormal, rng_for
+
+
+class RetentionModel:
+    """Retention-failure physics for one module."""
+
+    def __init__(
+        self,
+        geometry: ModuleGeometry,
+        calibration: ModuleCalibration,
+        serial: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.calibration = calibration
+        self.vendor_cal = vendor_calibration(calibration.vendor)
+        self.serial = serial
+        self._retention: dict[tuple[int, int], float] = {}
+        self._anti: dict[tuple[int, int], bool] = {}
+
+    def retention_ns(self, bank: int, row: int) -> float:
+        """Retention time of the row's weakest cell, in nanoseconds."""
+        key = (bank, row)
+        value = self._retention.get(key)
+        if value is None:
+            rng = rng_for(
+                self.calibration.config_id, self.serial, bank, row, "retention"
+            )
+            dist = Lognormal(
+                math.log(self.vendor_cal.retention_median_ns),
+                self.vendor_cal.retention_sigma,
+            )
+            value = float(dist.sample(rng))
+            self._retention[key] = value
+        return value
+
+    def is_anti_cell_row(self, bank: int, row: int) -> bool:
+        """Whether this row stores data in anti-cells (decay flips 0 -> 1)."""
+        key = (bank, row)
+        value = self._anti.get(key)
+        if value is None:
+            rng = rng_for(
+                self.calibration.config_id, self.serial, bank, row, "anti-cell"
+            )
+            value = bool(rng.random() < self.vendor_cal.anti_cell_row_fraction)
+            self._anti[key] = value
+        return value
+
+    def decay_count(self, bank: int, row: int, elapsed_ns: float) -> int:
+        """Number of cells that have decayed after ``elapsed_ns`` unrefreshed.
+
+        Zero below the row's retention time; one more weak cell per
+        additional 50% of the retention time beyond it (a coarse but
+        monotonic stand-in for the per-cell retention tail).
+        """
+        retention = self.retention_ns(bank, row)
+        if elapsed_ns <= retention:
+            return 0
+        extra = (elapsed_ns - retention) / (0.5 * retention)
+        return 1 + int(extra)
+
+    def apply_decay(
+        self, bank: int, row: int, elapsed_ns: float, data: np.ndarray
+    ) -> int:
+        """Materialize retention failures into a row's bytes.
+
+        Returns the number of bits flipped.  Deterministic per row: the
+        same cells always decay first, matching how real retention-weak
+        cells are stable enough for U-TRR to use as canaries.
+        """
+        count = self.decay_count(bank, row, elapsed_ns)
+        if count == 0:
+            return 0
+        rng = rng_for(
+            self.calibration.config_id, self.serial, bank, row, "retention-order"
+        )
+        order = rng.permutation(self.geometry.columns)
+        vulnerable_bit = 0 if self.is_anti_cell_row(bank, row) else 1
+        if self.vendor_cal.mixed_cells_within_row:
+            # Mixed layouts decay in both directions; alternate cells.
+            bits = np.unpackbits(data)
+            flipped = 0
+            for index, cell in enumerate(order):
+                target = vulnerable_bit if index % 2 == 0 else 1 - vulnerable_bit
+                if bits[cell] == target:
+                    bits[cell] ^= 1
+                    flipped += 1
+                    if flipped >= count:
+                        break
+            if flipped:
+                data[:] = np.packbits(bits)
+            return flipped
+        bits = np.unpackbits(data)
+        flipped = 0
+        for cell in order:
+            if bits[cell] != vulnerable_bit:
+                continue
+            bits[cell] ^= 1
+            flipped += 1
+            if flipped >= count:
+                break
+        if flipped:
+            data[:] = np.packbits(bits)
+        return flipped

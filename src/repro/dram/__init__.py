@@ -1,0 +1,71 @@
+"""Simulated DDR4 device model (the substitute for the paper's 316 chips)."""
+
+from .bank import Bank, SIMRA_BLOCK, SIMRA_BLOCK_BITS, TrrHook
+from .commands import ActivationEvent, Opcode, TimedCommand
+from .errors import (
+    AddressError,
+    CalibrationError,
+    DramError,
+    TimingError,
+    UnsupportedOperationError,
+)
+from .mapping import (
+    BitInvertedHalfMapping,
+    MAPPING_FACTORIES,
+    MirroredPairMapping,
+    RowMapping,
+    SequentialMapping,
+    make_mapping,
+)
+from .module import DramModule
+from .organization import ModuleGeometry, REGION_ORDER, SubarrayRegion, region_of
+from .timing import (
+    BENDER_CYCLE_NS,
+    DDR4_2400,
+    DDR5_4800,
+    TimingParams,
+    quantize_to_bender_cycles,
+)
+from .vendors import (
+    build_population,
+    make_module,
+    paper_geometry,
+    scaled_geometry,
+    simra_capable_modules,
+)
+
+__all__ = [
+    "ActivationEvent",
+    "AddressError",
+    "Bank",
+    "BENDER_CYCLE_NS",
+    "BitInvertedHalfMapping",
+    "CalibrationError",
+    "DDR4_2400",
+    "DDR5_4800",
+    "DramError",
+    "DramModule",
+    "MAPPING_FACTORIES",
+    "MirroredPairMapping",
+    "ModuleGeometry",
+    "Opcode",
+    "REGION_ORDER",
+    "RowMapping",
+    "SIMRA_BLOCK",
+    "SIMRA_BLOCK_BITS",
+    "SequentialMapping",
+    "SubarrayRegion",
+    "TimedCommand",
+    "TimingError",
+    "TimingParams",
+    "TrrHook",
+    "UnsupportedOperationError",
+    "build_population",
+    "make_mapping",
+    "make_module",
+    "paper_geometry",
+    "quantize_to_bender_cycles",
+    "region_of",
+    "scaled_geometry",
+    "simra_capable_modules",
+]

@@ -1,0 +1,106 @@
+"""DDR4 command vocabulary shared by the device model and DRAM Bender DSL.
+
+A command stream is a sequence of :class:`TimedCommand` objects, each
+carrying the inter-command gap (``slack_ns``) that precedes it.  Timing
+violations are expressed simply by choosing small slacks; the device model
+classifies the resulting analog behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+
+class Opcode(str, Enum):
+    """DDR4 commands used by the testing infrastructure."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    NOP = "NOP"  # pure delay
+
+
+@dataclass
+class TimedCommand:
+    """One DDR4 command plus the delay since the previous command.
+
+    Attributes
+    ----------
+    opcode:
+        The DDR4 command.
+    slack_ns:
+        Gap between the *previous* command's issue time and this command's
+        issue time.  The first command of a stream uses its slack relative
+        to stream start.
+    bank, row:
+        Address components where applicable (``REF`` and ``NOP`` carry
+        neither; ``PRE`` needs only the bank).
+    data:
+        For ``WR``: the bytes driven onto the bus (row-sized or shorter,
+        repeated to fill).  ``RD`` returns data through the execution result
+        instead.
+    """
+
+    opcode: Opcode
+    slack_ns: float = 0.0
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    data: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.slack_ns < 0:
+            raise ValueError("slack_ns must be non-negative")
+        if self.opcode in (Opcode.ACT, Opcode.RD, Opcode.WR) and self.row is None:
+            raise ValueError(f"{self.opcode.value} requires a row address")
+        if self.opcode in (Opcode.ACT, Opcode.RD, Opcode.WR, Opcode.PRE) and self.bank is None:
+            raise ValueError(f"{self.opcode.value} requires a bank address")
+
+    def describe(self) -> str:
+        """Human-readable one-liner, used in traces and error messages."""
+        parts = [f"+{self.slack_ns:g}ns", self.opcode.value]
+        if self.bank is not None:
+            parts.append(f"b{self.bank}")
+        if self.row is not None:
+            parts.append(f"r{self.row}")
+        return " ".join(parts)
+
+
+@dataclass
+class ActivationEvent:
+    """A completed row-activation session, as seen by the fault model.
+
+    The bank engine folds raw commands into these events: one event per
+    (set of) rows that was activated and then closed.  ``kind`` classifies
+    the analog behavior.
+    """
+
+    class Kind(str, Enum):
+        SINGLE = "single"          # ordinary ACT ... PRE
+        COMRA_PAIR = "comra-pair"  # a src+dst in-DRAM copy cycle (rows=(src, dst))
+        SIMRA = "simra"            # simultaneous multi-row activation
+
+    rows: tuple[int, ...]
+    kind: "ActivationEvent.Kind"
+    bank: int
+    t_open_ns: float
+    t_close_ns: float
+    #: PRE -> ACT delay that opened this session (None for the first ACT of
+    #: a stream); drives the CoMRA boost factor.
+    pre_to_act_ns: Optional[float] = None
+    #: ACT -> PRE delay inside the SiMRA ACT-PRE-ACT trigger (None otherwise).
+    simra_act_to_pre_ns: Optional[float] = None
+    #: Gap since this row was last closed (tAggOff), per row.
+    t_agg_off_ns: dict[int, float] = field(default_factory=dict)
+    #: Whether some rows only partially activated (very low ACT->PRE delay).
+    partial: bool = False
+
+    @property
+    def t_agg_on_ns(self) -> float:
+        """How long the row(s) stayed open (RowPress exposure)."""
+        return max(0.0, self.t_close_ns - self.t_open_ns)

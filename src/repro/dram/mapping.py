@@ -1,0 +1,164 @@
+"""Logical-to-physical row address mapping schemes.
+
+DRAM vendors remap the memory-controller-visible (logical) row address to a
+different physical wordline order for routing and redundancy reasons
+(PuDHammer §3.2).  Hammering "row R ± 1" in logical space therefore does not
+necessarily touch the physical neighbors of R; every real characterization
+study reverse engineers the mapping first.
+
+We implement the three mapping families reported by prior work for the four
+vendors tested, plus an identity mapping:
+
+* :class:`SequentialMapping` -- logical == physical (common in Samsung
+  parts).
+* :class:`MirroredPairMapping` -- pairs of rows are swapped based on a low
+  address bit pattern (observed in SK Hynix parts: logical ``...01`` and
+  ``...10`` swap within each 4-row group).
+* :class:`BitInvertedHalfMapping` -- the bottom half of each 2^k block maps
+  straight, the top half is bit-inverted (Micron-style "swizzle").
+
+All mappings are pure bijections on ``range(rows)`` and preserve subarray
+blocks, matching reality: remapping happens inside the row decoder of a
+subarray.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .errors import AddressError
+
+
+class RowMapping(ABC):
+    """A bijection between logical and physical row addresses."""
+
+    def __init__(self, rows: int) -> None:
+        if rows <= 0:
+            raise AddressError("mapping needs a positive row count")
+        self.rows = rows
+
+    @abstractmethod
+    def to_physical(self, logical: int) -> int:
+        """Translate a logical row address to its physical wordline index."""
+
+    def to_logical(self, physical: int) -> int:
+        """Inverse translation.  Default implementation inverts lazily."""
+        inverse = self._inverse_table()
+        self._check(physical)
+        return inverse[physical]
+
+    # ------------------------------------------------------------------
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise AddressError(f"row {row} out of range [0, {self.rows})")
+
+    def _inverse_table(self) -> dict[int, int]:
+        cached = getattr(self, "_inv", None)
+        if cached is None:
+            cached = {self.to_physical(r): r for r in range(self.rows)}
+            if len(cached) != self.rows:
+                raise AddressError(
+                    f"{type(self).__name__} is not a bijection on {self.rows} rows"
+                )
+            self._inv = cached
+        return cached
+
+    def is_bijective(self) -> bool:
+        """Sanity check used by tests: mapping must be a permutation."""
+        try:
+            self._inverse_table()
+        except AddressError:
+            return False
+        return True
+
+
+class SequentialMapping(RowMapping):
+    """Logical address equals physical address."""
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return physical
+
+
+class MirroredPairMapping(RowMapping):
+    """Swap the middle pair of every aligned 4-row group.
+
+    Within each group of four logical rows ``{4k, 4k+1, 4k+2, 4k+3}``, the
+    physical order is ``{4k, 4k+2, 4k+1, 4k+3}``.  The practical effect --
+    the one that matters for read disturbance studies -- is that logically
+    adjacent rows are not always physically adjacent.
+    """
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        low = logical & 0b11
+        if low == 0b01:
+            return (logical & ~0b11) | 0b10
+        if low == 0b10:
+            return (logical & ~0b11) | 0b01
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        # The permutation is an involution.
+        return self.to_physical(physical)
+
+
+class BitInvertedHalfMapping(RowMapping):
+    """Invert low address bits in the upper half of each aligned block.
+
+    For a block size of ``2^k`` rows: logical rows in the lower half map
+    straight; rows in the upper half map to ``block_top - offset``, i.e. the
+    upper half is laid out in reverse physical order.  This produces the
+    "mirrored about the block center" adjacency reported for some Micron
+    parts.
+    """
+
+    def __init__(self, rows: int, block_bits: int = 3) -> None:
+        super().__init__(rows)
+        if block_bits < 1:
+            raise AddressError("block_bits must be >= 1")
+        self.block_bits = block_bits
+        self.block = 1 << block_bits
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        base = logical & ~(self.block - 1)
+        offset = logical & (self.block - 1)
+        half = self.block // 2
+        if offset < half:
+            return base + offset
+        # reverse order within the upper half
+        return base + self.block - 1 - (offset - half)
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        base = physical & ~(self.block - 1)
+        offset = physical & (self.block - 1)
+        half = self.block // 2
+        if offset < half:
+            return base + offset
+        return base + half + (self.block - 1 - offset)
+
+
+#: Mapping scheme name -> factory, used by vendor spec tables.
+MAPPING_FACTORIES = {
+    "sequential": SequentialMapping,
+    "mirrored-pair": MirroredPairMapping,
+    "bit-inverted-half": BitInvertedHalfMapping,
+}
+
+
+def make_mapping(name: str, rows: int) -> RowMapping:
+    """Instantiate a mapping scheme by name."""
+    try:
+        factory = MAPPING_FACTORIES[name]
+    except KeyError:
+        raise AddressError(
+            f"unknown mapping scheme {name!r}; "
+            f"known: {sorted(MAPPING_FACTORIES)}"
+        ) from None
+    return factory(rows)

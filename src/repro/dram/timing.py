@@ -1,0 +1,117 @@
+"""DDR4 timing parameters and timing-violation bookkeeping.
+
+All times are expressed in nanoseconds as floats.  The values below follow
+the JEDEC DDR4 specification (JESD79-4C) for a DDR4-2400 speed grade, which
+matches the modules characterized by PuDHammer (Table 2).
+
+Timing *violations* are first-class citizens here: Processing-using-DRAM
+operations work precisely by violating ``tRP`` (CoMRA: PRE -> ACT issued
+before the precharge completes) and ``tRAS`` (SiMRA: ACT -> PRE -> ACT in
+quick succession).  :class:`TimingParams` therefore provides helpers that
+classify a given inter-command delay instead of rejecting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+#: Nanoseconds per DRAM Bender FPGA cycle.  DRAM Bender drives DDR4 command
+#: pins at a granularity of 1.5 ns, which is why the paper sweeps violated
+#: delays in 1.5 ns steps (e.g. 1.5/3/4.5 ns for SiMRA, 7.5/9/10.5/12 ns for
+#: CoMRA).
+BENDER_CYCLE_NS = 1.5
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """A bundle of DRAM timing parameters (nanoseconds).
+
+    Attributes mirror the standard JEDEC names:
+
+    * ``tRCD`` -- ACT to first RD/WR.
+    * ``tRAS`` -- ACT to PRE (charge restoration complete).
+    * ``tRP``  -- PRE to next ACT.
+    * ``tRC``  -- ACT to next ACT to the same bank (``tRAS + tRP``).
+    * ``tWR``  -- write recovery.
+    * ``tREFI`` -- average periodic refresh interval.
+    * ``tREFW`` -- refresh window (retention guarantee).
+    * ``tRFC`` -- refresh cycle time (bank blocked after REF).
+    """
+
+    tRCD: float = 13.5
+    tRAS: float = 36.0
+    tRP: float = 13.5
+    tWR: float = 15.0
+    tREFI: float = 7800.0
+    tREFW: float = 64_000_000.0
+    tRFC: float = 350.0
+
+    @property
+    def tRC(self) -> float:
+        """ACT-to-ACT minimum to the same bank."""
+        return self.tRAS + self.tRP
+
+    # ------------------------------------------------------------------
+    # Violation classification helpers
+    # ------------------------------------------------------------------
+    def violates_trp(self, pre_to_act_ns: float) -> bool:
+        """Whether a PRE -> ACT gap is a ``tRP`` violation."""
+        return pre_to_act_ns < self.tRP
+
+    def violates_tras(self, act_to_pre_ns: float) -> bool:
+        """Whether an ACT -> PRE gap is a ``tRAS`` violation."""
+        return act_to_pre_ns < self.tRAS
+
+    def is_comra_window(self, pre_to_act_ns: float) -> bool:
+        """Whether a violated PRE -> ACT delay can trigger an in-DRAM copy.
+
+        Prior work (ComputeDRAM, PiDRAM, DRAM Bender) shows RowClone-style
+        copies succeed in COTS chips when the second ACT arrives while the
+        bitlines still hold the source row's charge, i.e. well before the
+        precharge completes.  Empirically that window closes as the delay
+        approaches nominal ``tRP``; we model it as strictly below ``tRP``.
+        """
+        return 0.0 < pre_to_act_ns < self.tRP
+
+    def is_simra_window(self, act_to_pre_ns: float, pre_to_act_ns: float) -> bool:
+        """Whether an ACT -> PRE -> ACT sequence simultaneously activates rows.
+
+        SiMRA requires *both* delays to be far below nominal (the paper uses
+        3 ns for each by default and sweeps 1.5--4.5 ns).  We bound the window
+        at 6 ns (four DRAM Bender cycles), past which chips either treat the
+        sequence as a regular precharge/activate or ignore it.
+        """
+        return 0.0 < act_to_pre_ns <= 6.0 and 0.0 < pre_to_act_ns <= 6.0
+
+    def with_overrides(self, **overrides: float) -> "TimingParams":
+        """Return a copy with some parameters replaced."""
+        return replace(self, **overrides)
+
+
+#: Default DDR4 timing set used by every simulated module.
+DDR4_2400 = TimingParams()
+
+#: DDR5-like timing set used by the performance simulator in §8.2 (Fig. 25).
+#: DDR5 halves the refresh window and interval relative to DDR4.
+DDR5_4800 = TimingParams(
+    tRCD=14.0,
+    tRAS=32.0,
+    tRP=14.0,
+    tWR=30.0,
+    tREFI=3900.0,
+    tREFW=32_000_000.0,
+    tRFC=295.0,
+)
+
+
+def quantize_to_bender_cycles(delay_ns: float) -> float:
+    """Round a delay to the DRAM Bender command-bus granularity (1.5 ns).
+
+    The FPGA can only place commands on 1.5 ns boundaries, so any requested
+    slack is quantized exactly as the real infrastructure would.
+    """
+    if delay_ns < 0:
+        raise ValueError(f"delay must be non-negative, got {delay_ns}")
+    cycles = round(delay_ns / BENDER_CYCLE_NS)
+    return cycles * BENDER_CYCLE_NS

@@ -1,0 +1,102 @@
+"""Experiment registry: one runner per reproduced table/figure.
+
+``EXPERIMENTS`` maps experiment id to its runner; ``run_experiment`` is the
+uniform entry point used by benchmarks and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.scale import ExperimentScale
+from .base import ExperimentResult
+from .combined import run_fig21, run_fig22, run_fig23
+from .comra import (
+    run_fig04,
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+)
+from .inventory import run_table1, run_table2
+from .prac_overhead import run_fig25
+from .simra import (
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+    run_fig19,
+)
+from .trr_bypass import run_fig24
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig04": run_fig04,
+    "fig05": run_fig05,
+    "fig06": run_fig06,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "fig19": run_fig19,
+    "fig21": run_fig21,
+    "fig22": run_fig22,
+    "fig23": run_fig23,
+    "fig24": run_fig24,
+    "fig25": run_fig25,
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: Optional[ExperimentScale] = None, **kwargs
+) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale=scale, **kwargs)
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "run_fig04",
+    "run_fig05",
+    "run_fig06",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+    "run_fig18",
+    "run_fig19",
+    "run_fig21",
+    "run_fig22",
+    "run_fig23",
+    "run_fig24",
+    "run_fig25",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,33 @@
+"""PuDHammer mitigations: PRAC variants (§8.2) and countermeasures (§8.1)."""
+
+from .countermeasures import (
+    ClusteredActivationDecoder,
+    ComputeRegionPolicy,
+    WeightedContributionPolicy,
+)
+from .prac import (
+    BackOffEvent,
+    LOWEST_HC_COMRA,
+    LOWEST_HC_ROWHAMMER,
+    LOWEST_HC_SIMRA,
+    OpClass,
+    PracConfig,
+    PracCounters,
+    WEIGHT_COMRA,
+    WEIGHT_SIMRA,
+)
+
+__all__ = [
+    "BackOffEvent",
+    "ClusteredActivationDecoder",
+    "ComputeRegionPolicy",
+    "LOWEST_HC_COMRA",
+    "LOWEST_HC_ROWHAMMER",
+    "LOWEST_HC_SIMRA",
+    "OpClass",
+    "PracConfig",
+    "PracCounters",
+    "WEIGHT_COMRA",
+    "WEIGHT_SIMRA",
+    "WeightedContributionPolicy",
+]

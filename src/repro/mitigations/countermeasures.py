@@ -1,0 +1,178 @@
+"""The three PuDHammer countermeasures of §8.1, as analyzable policies.
+
+The paper sketches three chip/interface-level countermeasures and analyzes
+them qualitatively.  We implement each as a policy object with the
+quantitative hooks the sketch implies, so their costs and guarantees can be
+examined (see ``benchmarks/bench_countermeasures.py`` for the ablation).
+
+1. :class:`ComputeRegionPolicy` -- confine SiMRA (and one CoMRA operand)
+   to a small compute region that is refreshed every K SiMRA ops.
+2. :class:`WeightedContributionPolicy` -- count each CoMRA/SiMRA op as an
+   equivalent number of RowHammer activations in existing mitigations.
+3. :class:`ClusteredActivationDecoder` -- a row decoder constraint that
+   only exposes *contiguous* simultaneous activations, eliminating
+   sandwiched (double-sided) SiMRA victims entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..dram.errors import AddressError
+from .prac import LOWEST_HC_COMRA, LOWEST_HC_ROWHAMMER, LOWEST_HC_SIMRA
+
+
+@dataclass
+class ComputeRegionPolicy:
+    """§8.1 "Separating PuD-enabled rows".
+
+    A subarray is split into a small compute region (e.g. 32 of 1024 rows)
+    and a storage region.  Constraints enforced:
+
+    * SiMRA groups must lie entirely inside the compute region.
+    * At most one CoMRA operand may be a storage-region row.
+
+    The compute region is periodically refreshed: after every
+    ``refresh_interval_ops`` SiMRA operations, one compute-region row is
+    refreshed (spreading refreshes over time like periodic refresh).
+    """
+
+    subarray_rows: int = 1024
+    compute_rows: int = 32
+    refresh_interval_ops: int = 20
+    _op_counter: int = 0
+    _refresh_cursor: int = 0
+    stats: dict = field(default_factory=lambda: {"ops": 0, "refreshes": 0})
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compute_rows < self.subarray_rows:
+            raise AddressError("compute region must be a proper subset")
+
+    @property
+    def compute_region(self) -> range:
+        """Compute rows live at the subarray tail."""
+        return range(self.subarray_rows - self.compute_rows, self.subarray_rows)
+
+    def check_simra(self, rows: Sequence[int]) -> None:
+        """Reject SiMRA groups that leave the compute region."""
+        region = self.compute_region
+        outside = [r for r in rows if r not in region]
+        if outside:
+            raise AddressError(
+                f"SiMRA rows {outside} outside compute region {region}"
+            )
+
+    def check_comra(self, src: int, dst: int) -> None:
+        """Allow at most one storage-region operand."""
+        region = self.compute_region
+        if src not in region and dst not in region:
+            raise AddressError(
+                "CoMRA needs at least one compute-region operand "
+                f"(got {src}, {dst})"
+            )
+
+    def note_simra_op(self) -> list[int]:
+        """Account one SiMRA op; returns compute rows refreshed now."""
+        self.stats["ops"] += 1
+        self._op_counter += 1
+        refreshed: list[int] = []
+        # Spread refreshes: one compute row per interval/compute_rows ops
+        # keeps every row refreshed within `refresh_interval_ops` ops.
+        per_row_interval = max(1, self.refresh_interval_ops // self.compute_rows)
+        if self._op_counter % per_row_interval == 0:
+            row = self.compute_region[self._refresh_cursor % self.compute_rows]
+            self._refresh_cursor += 1
+            refreshed.append(row)
+            self.stats["refreshes"] += 1
+        return refreshed
+
+    def refresh_overhead_fraction(self, simra_op_ns: float = 48.0,
+                                  refresh_ns: float = 48.0) -> float:
+        """Fraction of bank time spent on compute-region refreshes."""
+        per_row_interval = max(1, self.refresh_interval_ops // self.compute_rows)
+        return refresh_ns / (per_row_interval * simra_op_ns + refresh_ns)
+
+    def storage_region_rdt_scale(self) -> float:
+        """How much existing mitigations must tighten for storage rows.
+
+        Only single-sided CoMRA can touch the storage region; §8.1 notes
+        its HC_first reduction is below 2% (Fig. 7), so RDT scales by
+        ~0.98.
+        """
+        return 0.98
+
+
+@dataclass
+class WeightedContributionPolicy:
+    """§8.1 "Weighted contribution of different row activation types".
+
+    Maps each operation type to an equivalent double-sided RowHammer
+    activation count so unmodified RowHammer mitigations stay secure.
+    """
+
+    hc_rowhammer: int = LOWEST_HC_ROWHAMMER
+    hc_comra: int = LOWEST_HC_COMRA
+    hc_simra: int = LOWEST_HC_SIMRA
+
+    @property
+    def comra_weight(self) -> int:
+        return max(1, self.hc_rowhammer // self.hc_comra)
+
+    @property
+    def simra_weight(self) -> int:
+        return max(1, self.hc_rowhammer // self.hc_simra)
+
+    def equivalent_hammers(self, acts: int, comra_ops: int, simra_ops: int) -> int:
+        """Total RowHammer-equivalent count a tracker should see."""
+        return (
+            acts
+            + comra_ops * self.comra_weight
+            + simra_ops * self.simra_weight
+        )
+
+    def is_secure_against(self, hc_observed: dict[str, float]) -> bool:
+        """Whether the configured weights cover observed worst cases."""
+        return (
+            hc_observed.get("rowhammer", self.hc_rowhammer) >= self.hc_rowhammer
+            and hc_observed.get("comra", self.hc_comra) >= self.hc_comra
+            and hc_observed.get("simra", self.hc_simra) >= self.hc_simra
+        )
+
+
+@dataclass
+class ClusteredActivationDecoder:
+    """§8.1 "Clustered multiple-row activation".
+
+    A decoder that only exposes contiguous simultaneous activations: any
+    group it produces covers an aligned run of rows, so no unactivated row
+    is ever sandwiched -- double-sided SiMRA becomes impossible by
+    construction.
+    """
+
+    group_sizes: tuple[int, ...] = (2, 4, 8, 16, 32)
+
+    def group_for(self, row: int, n_rows: int) -> tuple[int, ...]:
+        """The contiguous aligned group containing ``row``."""
+        if n_rows not in self.group_sizes:
+            raise AddressError(f"unsupported group size {n_rows}")
+        base = (row // n_rows) * n_rows
+        return tuple(range(base, base + n_rows))
+
+    @staticmethod
+    def sandwiched_victims(group: Sequence[int]) -> tuple[int, ...]:
+        """Unactivated rows sandwiched by a group (empty iff clustered)."""
+        members = set(group)
+        return tuple(
+            v
+            for v in range(min(group) + 1, max(group))
+            if v not in members and v - 1 in members and v + 1 in members
+        )
+
+    def eliminates_double_sided_simra(self) -> bool:
+        """All exposed groups are contiguous, hence sandwich-free."""
+        for size in self.group_sizes:
+            group = self.group_for(row=7 * size, n_rows=size)
+            if self.sandwiched_victims(group):
+                return False
+        return True

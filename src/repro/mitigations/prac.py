@@ -1,0 +1,203 @@
+"""Per Row Activation Counting (PRAC) adapted to PuD operations (§8.2).
+
+PRAC (JEDEC DDR5, April 2024) keeps an activation counter per DRAM row;
+when a counter crosses the read-disturbance threshold (RDT) the chip
+asserts a *back-off* signal, forcing the memory controller to issue an RFM
+command during which the chip preventively refreshes potential victims.
+
+PuD breaks PRAC's one-ACT-one-counter assumption: a SiMRA operation
+activates up to 32 rows with two ACT commands.  Following the paper we
+place counters in a dedicated mat (Panopticon) -- counters co-located with
+the data rows would be destroyed by SiMRA's overwriting (§8.2 footnote 8)
+-- and provide two counter-update organizations:
+
+* :class:`PracAreaOptimized` (PRAC-AO) -- one incrementer, sequential
+  updates: a SiMRA-32 op blocks the bank for 32 x tRC (~1.5 us).
+* :class:`PracPerformanceOptimized` (PRAC-PO) -- N incrementers, all
+  counters update within tRC.
+
+Both accept a *weighted counting* configuration (PRAC-PO-WC): instead of
+lowering the RDT to SiMRA's worst-case HC_first (~20, PRAC-PO-Naive), each
+operation type adds its equivalent RowHammer damage: SiMRA counts as
+4K/20 = 200 hammers, CoMRA as 4K/400 = 10 (§8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence
+
+
+class OpClass(str, Enum):
+    """Row-activation classes PRAC must account for."""
+
+    ACT = "act"
+    COMRA = "comra"
+    SIMRA = "simra"
+
+
+#: Lowest HC_first values the paper's characterization feeds into the
+#: weighted-counting optimization (§8.2): RowHammer ~4K, CoMRA ~400,
+#: SiMRA ~20.
+LOWEST_HC_ROWHAMMER = 4096
+LOWEST_HC_COMRA = 400
+LOWEST_HC_SIMRA = 20
+
+#: Weighted-counting weights: lowest RowHammer HC_first divided by the
+#: operation's lowest HC_first (SiMRA = 200, CoMRA = 10).
+WEIGHT_SIMRA = LOWEST_HC_ROWHAMMER // LOWEST_HC_SIMRA
+WEIGHT_COMRA = LOWEST_HC_ROWHAMMER // LOWEST_HC_COMRA
+
+
+@dataclass(frozen=True)
+class PracConfig:
+    """One PRAC variant's parameters."""
+
+    name: str
+    #: read-disturbance threshold at which back-off asserts
+    rdt: int
+    #: per-op counter increments
+    weights: dict = field(default_factory=lambda: {OpClass.ACT: 1})
+    #: counter-update latency model: extra bank-blocking nanoseconds per
+    #: op as a function of the number of simultaneously updated counters
+    sequential_updates: bool = False
+    #: tRC used for sequential counter updates (ns)
+    t_rc_ns: float = 48.0
+
+    def weight_for(self, op: OpClass) -> int:
+        return int(self.weights.get(op, 1))
+
+    def update_latency_ns(self, rows_touched: int) -> float:
+        """Bank-blocking time spent updating counters for one operation."""
+        if not self.sequential_updates or rows_touched <= 1:
+            return 0.0
+        return self.t_rc_ns * (rows_touched - 1)
+
+    @classmethod
+    def po_naive(cls) -> "PracConfig":
+        """PRAC-PO-Naive: parallel updates, RDT lowered to SiMRA's worst
+        case (20) so plain counting stays secure."""
+        return cls(
+            name="PRAC-PO-Naive",
+            rdt=LOWEST_HC_SIMRA,
+            weights={OpClass.ACT: 1, OpClass.COMRA: 1, OpClass.SIMRA: 1},
+        )
+
+    @classmethod
+    def po_weighted(cls) -> "PracConfig":
+        """PRAC-PO-WC: parallel updates with weighted contributions."""
+        return cls(
+            name="PRAC-PO-WC",
+            rdt=LOWEST_HC_ROWHAMMER,
+            weights={
+                OpClass.ACT: 1,
+                OpClass.COMRA: WEIGHT_COMRA,
+                OpClass.SIMRA: WEIGHT_SIMRA,
+            },
+        )
+
+    @classmethod
+    def ao_weighted(cls) -> "PracConfig":
+        """PRAC-AO with weighted counting: correct but serializes counter
+        updates (the §8.2 area-optimized strawman)."""
+        return cls(
+            name="PRAC-AO-WC",
+            rdt=LOWEST_HC_ROWHAMMER,
+            weights={
+                OpClass.ACT: 1,
+                OpClass.COMRA: WEIGHT_COMRA,
+                OpClass.SIMRA: WEIGHT_SIMRA,
+            },
+            sequential_updates=True,
+        )
+
+
+@dataclass
+class BackOffEvent:
+    """The chip's demand for an RFM, surfaced to the memory controller."""
+
+    bank: int
+    hottest_row: int
+    counter_value: int
+
+
+class PracCounters:
+    """Panopticon-style per-row activation counters for one bank.
+
+    The counter mat is separate from data rows, so SiMRA cannot destroy
+    counter state; the cost surfaces purely as update latency
+    (:meth:`PracConfig.update_latency_ns`).
+
+    ``warm_start`` initializes each row's counter to a deterministic
+    pseudo-random phase in [0, 0.9 * RDT): the simulation models a slice of
+    a long-running system whose counters are mid-way to their thresholds,
+    so back-off rates reach steady state immediately instead of after a
+    full RDT's worth of warm-up traffic.
+    """
+
+    def __init__(self, bank: int, config: PracConfig, warm_start: bool = False) -> None:
+        self.bank = bank
+        self.config = config
+        self.warm_start = warm_start
+        self._counters: dict[int, int] = {}
+        self._pending_backoff: Optional[BackOffEvent] = None
+        self.stats = {"updates": 0, "backoffs": 0, "rfms": 0}
+
+    def _initial(self, row: int) -> int:
+        if not self.warm_start:
+            return 0
+        # stable per-(bank, row) phase, cheap enough for the hot path
+        phase = ((row * 0x9E3779B1 + self.bank * 0x85EBCA77) >> 7) & 0xFFFF
+        return int(phase / 0x10000 * 0.9 * self.config.rdt)
+
+    def counter(self, row: int) -> int:
+        value = self._counters.get(row)
+        if value is None:
+            value = self._initial(row)
+            self._counters[row] = value
+        return value
+
+    @property
+    def back_off_pending(self) -> Optional[BackOffEvent]:
+        return self._pending_backoff
+
+    def record(self, rows: Sequence[int], op: OpClass) -> float:
+        """Account one operation touching ``rows``.
+
+        Returns the extra bank-blocking latency of the counter update
+        (zero for parallel organizations).
+        """
+        weight = self.config.weight_for(op)
+        hottest_row = -1
+        hottest = -1
+        for row in rows:
+            value = self._counters.get(row)
+            if value is None:
+                value = self._initial(row)
+            value += weight
+            self._counters[row] = value
+            self.stats["updates"] += 1
+            if value > hottest:
+                hottest, hottest_row = value, row
+        if hottest >= self.config.rdt and self._pending_backoff is None:
+            self._pending_backoff = BackOffEvent(self.bank, hottest_row, hottest)
+            self.stats["backoffs"] += 1
+        return self.config.update_latency_ns(len(rows))
+
+    def serve_rfm(self) -> list[int]:
+        """The controller issued RFM: refresh victims, clear hot counters.
+
+        Returns the rows whose counters were reset (the refreshed
+        aggressors' neighborhoods are implicitly covered by the chip).
+        """
+        self.stats["rfms"] += 1
+        self._pending_backoff = None
+        hot = [
+            row
+            for row, value in self._counters.items()
+            if value >= self.config.rdt
+        ]
+        for row in hot:
+            self._counters[row] = 0
+        return hot

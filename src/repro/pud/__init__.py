@@ -1,0 +1,6 @@
+"""Processing-using-DRAM operations on the simulated substrate."""
+
+from .ops import PudEngine, reference_majority
+from .trng import QuacTrng
+
+__all__ = ["PudEngine", "QuacTrng", "reference_majority"]

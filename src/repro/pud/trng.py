@@ -1,0 +1,57 @@
+"""QUAC-TRNG: true random numbers from SiMRA charge-sharing ties.
+
+Simultaneously activating four rows whose contents split 2-2 on every
+bitline leaves the charge exactly at VDD/2; the sense amplifier resolves
+each bitline from thermal noise, yielding random bits (Olgun et al.,
+ISCA'21).  The engine below reproduces the QUAC flow: initialize a 4-row
+group to two all-ones and two all-zeros rows, trigger SiMRA, read the
+result, re-initialize, repeat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dram.errors import UnsupportedOperationError
+from ..dram.module import DramModule
+from .ops import PudEngine
+
+
+class QuacTrng:
+    """True random number generator driven by quadruple-row activation."""
+
+    def __init__(self, module: DramModule, bank: int = 0, block_base: int = 0) -> None:
+        if not module.supports_simra:
+            raise UnsupportedOperationError(
+                f"{module.vendor.value} chips cannot co-activate four rows"
+            )
+        self.engine = PudEngine(module, bank)
+        self.module = module
+        group = module.banks[bank].simra_group(block_base, block_base + 3)
+        if group is None or len(group) != 4:
+            raise UnsupportedOperationError(
+                f"rows {block_base}..{block_base + 3} form no 4-row group"
+            )
+        self.group = group
+
+    def _initialize(self) -> None:
+        nbytes = self.module.geometry.row_bytes
+        ones = np.full(nbytes, 0xFF, np.uint8)
+        zeros = np.zeros(nbytes, np.uint8)
+        for row, data in zip(self.group, (ones, ones, zeros, zeros)):
+            self.engine.write(row, data)
+
+    def generate(self, n_bytes: int) -> bytes:
+        """Produce ``n_bytes`` of entropy (one row's worth per SiMRA op)."""
+        out = bytearray()
+        row_bytes = self.module.geometry.row_bytes
+        while len(out) < n_bytes:
+            self._initialize()
+            self.engine.simultaneous_activate(self.group[0], self.group[-1])
+            data = self.engine.read(self.group[0])
+            out.extend(data.tobytes()[: min(row_bytes, n_bytes - len(out))])
+        return bytes(out)
+
+    def throughput_bits_per_op(self) -> int:
+        """Entropy bits harvested per SiMRA operation (all bitlines tie)."""
+        return self.module.geometry.columns

@@ -1,0 +1,29 @@
+"""Reverse-engineering tools (subarrays, row mapping, SiMRA groups, TRR)."""
+
+from .rowmapping import (
+    infer_physical_neighbors,
+    recover_physical_order,
+    verify_mapping_hypothesis,
+)
+from .simra_groups import (
+    discover_group,
+    discover_supported_counts,
+    group_against_decoder,
+)
+from .subarrays import boundary_scan, discovered_subarrays, exhaustive_map
+from .trr_probe import RetentionProfiler, TrrFindings, TrrProber
+
+__all__ = [
+    "RetentionProfiler",
+    "TrrFindings",
+    "TrrProber",
+    "boundary_scan",
+    "discover_group",
+    "discover_supported_counts",
+    "discovered_subarrays",
+    "exhaustive_map",
+    "group_against_decoder",
+    "infer_physical_neighbors",
+    "recover_physical_order",
+    "verify_mapping_hypothesis",
+]

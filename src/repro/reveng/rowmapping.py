@@ -1,0 +1,133 @@
+"""Logical-to-physical row mapping recovery (§3.2).
+
+Vendors remap controller-visible row addresses onto physical wordlines.
+The standard recovery method (used by every characterization study) is to
+hammer one *logical* row hard and observe which *logical* rows take
+bitflips: the victims are the hammered row's physical neighbors.  Chaining
+the adjacency relation reconstructs the physical order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..core.patterns import single_sided_rowhammer
+from ..disturbance.calibration import DataPattern
+from ..dram.module import DramModule
+
+
+def infer_physical_neighbors(
+    module: DramModule,
+    logical_row: int,
+    candidate_rows: Sequence[int],
+    bank: int = 0,
+    hammer_factor: float = 16.0,
+) -> list[int]:
+    """Logical rows physically adjacent to ``logical_row``.
+
+    Hammers the row single-sidedly for ``hammer_factor`` times the module's
+    average HC_first and reports candidate rows that flipped.  Candidates
+    should be the nearby logical window (mappings keep remapping local).
+    """
+    host = DramBenderHost(module)
+    pattern = DataPattern.CHECKER_AA
+    victim_fill = pattern.negated.fill(module.geometry.row_bytes)
+    rows_init = {row: victim_fill for row in candidate_rows if row != logical_row}
+    rows_init[logical_row] = pattern.fill(module.geometry.row_bytes)
+    host.write_rows(bank, rows_init)
+
+    count = int(module.calibration.rh_avg * hammer_factor)
+    # the pattern builder takes a physical aggressor; we are probing the
+    # mapping, so feed it the physical row behind the logical address
+    program = single_sided_rowhammer(
+        module, module.to_physical(logical_row), count, bank=bank
+    )
+    host.run(program)
+
+    flipped = []
+    read_back = host.read_rows(
+        bank, [row for row in candidate_rows if row != logical_row]
+    )
+    for row, data in read_back.items():
+        if not np.array_equal(data, victim_fill):
+            flipped.append(row)
+    return sorted(flipped)
+
+
+def recover_physical_order(
+    module: DramModule,
+    logical_rows: Sequence[int],
+    bank: int = 0,
+    window: int = 8,
+) -> Optional[list[int]]:
+    """Reconstruct the physical order of a logical row range.
+
+    Builds the adjacency graph by hammering each row, then walks the chain
+    from an endpoint (a row with a single in-range neighbor).  Returns the
+    logical rows in physical order, or None if the adjacency data is too
+    sparse to chain (e.g. very strong rows that never flipped).
+    """
+    rows = list(logical_rows)
+    row_set = set(rows)
+    adjacency: dict[int, set[int]] = {row: set() for row in rows}
+    for row in rows:
+        candidates = [
+            c for c in range(row - window, row + window + 1) if c in row_set
+        ]
+        for neighbor in infer_physical_neighbors(module, row, candidates, bank):
+            adjacency[row].add(neighbor)
+            adjacency[neighbor].add(row)
+
+    # Interior range endpoints have >= 1 neighbor; chain from a degree-1
+    # node when one exists, otherwise from the lowest row.
+    endpoints = [row for row in rows if len(adjacency[row]) == 1]
+    start = min(endpoints) if endpoints else rows[0]
+    order = [start]
+    visited = {start}
+    current = start
+    while True:
+        nxt = [n for n in adjacency[current] if n not in visited]
+        if not nxt:
+            break
+        current = nxt[0]
+        order.append(current)
+        visited.add(current)
+    if len(order) < len(rows):
+        return None
+    return order
+
+
+def verify_mapping_hypothesis(
+    module: DramModule,
+    logical_rows: Sequence[int],
+    bank: int = 0,
+) -> float:
+    """Fraction of hammered rows whose observed victims match the mapping.
+
+    Ground-truth validation tool: compares inferred neighbors against the
+    device's actual mapping (which an attacker would not have, but tests
+    do).
+    """
+    matches = 0
+    total = 0
+    for row in logical_rows:
+        candidates = list(range(max(0, row - 8), row + 9))
+        candidates = [
+            c for c in candidates if c < module.geometry.rows_per_bank
+        ]
+        observed = set(infer_physical_neighbors(module, row, candidates, bank))
+        physical = module.to_physical(row)
+        expected = {
+            module.to_logical(n)
+            for n in module.geometry.neighbors(physical, 1)
+        }
+        expected = {e for e in expected if e in set(candidates)}
+        if not expected:
+            continue
+        total += 1
+        if expected <= observed:
+            matches += 1
+    return matches / total if total else 0.0

@@ -1,0 +1,100 @@
+"""SiMRA row-group reverse engineering (§5.2).
+
+Prior work shows that following an ACT-PRE-ACT trigger with a WR overwrites
+*every* simultaneously activated row with the written data.  Initializing
+each row of a block with a unique tag, triggering, writing a marker, and
+reading the block back reveals exactly which rows activated together.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..bender.program import ProgramBuilder
+from ..core.patterns import SIMRA_ACT_TO_PRE_NS, SIMRA_PRE_TO_ACT_NS
+from ..dram.bank import SIMRA_BLOCK
+from ..dram.module import DramModule
+
+
+def _unique_tag(index: int, nbytes: int) -> np.ndarray:
+    data = np.full(nbytes, (index * 17 + 3) % 251, dtype=np.uint8)
+    data[0] = index & 0xFF
+    return data
+
+
+def discover_group(
+    module: DramModule,
+    row_a: int,
+    row_b: int,
+    bank: int = 0,
+) -> tuple[int, ...]:
+    """Rows simultaneously activated by the (row_a, row_b) trigger.
+
+    Non-SK-Hynix chips ignore the heavily violating sequence (§5.3
+    footnote 2): only the second ACT takes effect, so the returned group
+    degenerates to ``(row_b,)`` -- the "no SiMRA observed" outcome.
+    """
+    host = DramBenderHost(module)
+    nbytes = module.geometry.row_bytes
+    block_base = (row_a // SIMRA_BLOCK) * SIMRA_BLOCK
+    block_rows = [
+        block_base + offset
+        for offset in range(SIMRA_BLOCK)
+        if block_base + offset < module.geometry.rows_per_bank
+    ]
+    host.write_rows(
+        bank,
+        {
+            module.to_logical(row): _unique_tag(i, nbytes)
+            for i, row in enumerate(block_rows)
+        },
+    )
+
+    marker = np.full(nbytes, 0x5C, dtype=np.uint8)
+    timing = module.timing
+    program = (
+        ProgramBuilder("simra-probe")
+        .act(bank, module.to_logical(row_a), timing.tRP)
+        .pre(bank, SIMRA_ACT_TO_PRE_NS)
+        .act(bank, module.to_logical(row_b), SIMRA_PRE_TO_ACT_NS)
+        .wr(bank, module.to_logical(row_b), marker, timing.tRCD)
+        .pre(bank, timing.tRAS)
+        .build()
+    )
+    host.run(program)
+
+    read_back = host.read_rows(bank, [module.to_logical(r) for r in block_rows])
+    activated = []
+    for row in block_rows:
+        if np.array_equal(read_back[module.to_logical(row)], marker):
+            activated.append(row)
+    return tuple(sorted(activated))
+
+
+def discover_supported_counts(
+    module: DramModule,
+    block_base: int = 0,
+    bank: int = 0,
+) -> list[int]:
+    """Which simultaneous-activation counts the chip exhibits (2..32).
+
+    Mirrors the §5.2 methodology: probe address pairs differing in k low
+    bits and record the resulting group sizes.
+    """
+    sizes = set()
+    for k in range(1, 6):
+        diff = (1 << k) - 1
+        group = discover_group(module, block_base, block_base + diff, bank)
+        if group:
+            sizes.add(len(group))
+    return sorted(sizes)
+
+
+def group_against_decoder(
+    module: DramModule, row_a: int, row_b: int, bank: int = 0
+) -> Optional[tuple[int, ...]]:
+    """Ground-truth decoder answer (testing hook)."""
+    return module.banks[bank].simra_group(row_a, row_b)

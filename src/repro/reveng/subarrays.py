@@ -1,0 +1,78 @@
+"""Subarray-boundary reverse engineering (§4.2).
+
+In-DRAM copy only succeeds between rows of the same subarray, because the
+open bitlines that carry the source data are local to a subarray.  The
+paper exploits this to find boundaries: attempt a RowClone between every
+candidate pair and observe whether the destination received the source's
+content.
+
+Two strategies are provided:
+
+* :func:`boundary_scan` -- linear scan testing (r, r+1) pairs; a failed
+  copy marks a boundary.  O(rows) copies.
+* :func:`exhaustive_map` -- the paper's every-pair method, for small row
+  ranges and for validating the scan.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..dram.module import DramModule
+from ..pud.ops import PudEngine
+
+
+def _copy_succeeds(engine: PudEngine, src: int, dst: int, salt: int) -> bool:
+    """Attempt an in-DRAM copy and verify the destination's content."""
+    nbytes = engine.module.geometry.row_bytes
+    marker = (np.arange(nbytes) + salt * 37 + 11) % 251
+    marker = marker.astype(np.uint8)
+    anti = np.bitwise_xor(marker, np.uint8(0xFF))
+    engine.write(src, marker)
+    engine.write(dst, anti)
+    engine.copy(src, dst, check_subarray=False)
+    return bool(np.array_equal(engine.read(dst), marker))
+
+
+def boundary_scan(module: DramModule, bank: int = 0) -> list[int]:
+    """Rows that *start* a new subarray, discovered by failed copies.
+
+    Returns the sorted list of first-row indices of each discovered
+    subarray (always includes row 0).
+    """
+    engine = PudEngine(module, bank)
+    boundaries = [0]
+    for row in range(module.geometry.rows_per_bank - 1):
+        if not _copy_succeeds(engine, row, row + 1, salt=row):
+            boundaries.append(row + 1)
+    return boundaries
+
+
+def discovered_subarrays(module: DramModule, bank: int = 0) -> list[range]:
+    """Subarray row ranges from a boundary scan."""
+    boundaries = boundary_scan(module, bank)
+    boundaries.append(module.geometry.rows_per_bank)
+    return [
+        range(start, stop) for start, stop in zip(boundaries, boundaries[1:])
+    ]
+
+
+def exhaustive_map(
+    module: DramModule, rows: Sequence[int], bank: int = 0
+) -> dict[int, set[int]]:
+    """The paper's every-pair method over a row subset.
+
+    Returns ``row -> set of rows it can copy to`` (same-subarray sets).
+    Quadratic; intended for small validation ranges.
+    """
+    engine = PudEngine(module, bank)
+    result: dict[int, set[int]] = {row: set() for row in rows}
+    for i, src in enumerate(rows):
+        for dst in rows:
+            if src == dst:
+                continue
+            if _copy_succeeds(engine, src, dst, salt=i):
+                result[src].add(dst)
+    return result

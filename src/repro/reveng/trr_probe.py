@@ -1,0 +1,234 @@
+"""U-TRR-style probing of in-DRAM TRR mechanisms (§7).
+
+U-TRR (Hassan et al., MICRO'21) observes TRR's *side effects*: it finds
+"canary" rows with known short retention times, places them where a TRR
+mechanism would preventively refresh them, and infers the mechanism's
+behavior from whether the canaries survive beyond their retention time.
+
+This module implements that methodology against the simulated module:
+
+* :class:`RetentionProfiler` -- measures per-row retention times by
+  writing a marker, idling the clock, and reading back.
+* :class:`TrrProber` -- detects whether TRR is active, estimates which
+  REFs are TRR-capable, and estimates the sampler window size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..bender.program import ProgramBuilder
+from ..dram.module import DramModule
+
+
+class RetentionProfiler:
+    """Measures row retention times through the command interface."""
+
+    def __init__(self, module: DramModule, bank: int = 0) -> None:
+        self.module = module
+        self.bank = bank
+
+    def decays_within(self, row: int, wait_ns: float) -> bool:
+        """Whether a row loses data when left unrefreshed for ``wait_ns``."""
+        host = DramBenderHost(self.module)
+        marker = np.full(self.module.geometry.row_bytes, 0xA5, dtype=np.uint8)
+        logical = self.module.to_logical(row)
+        host.write_rows(self.bank, {logical: marker})
+        host.now_ns += wait_ns
+        data = host.read_rows(self.bank, [logical])[logical]
+        return not np.array_equal(data, marker)
+
+    def measure_retention(
+        self,
+        row: int,
+        low_ns: float = 50e6,
+        high_ns: float = 60e9,
+        steps: int = 18,
+    ) -> Optional[float]:
+        """Bisect the row's retention time within [low, high] ns.
+
+        Returns None when the row retains data beyond ``high_ns`` (most
+        rows; only the retention-weak tail is usable as canaries).
+        """
+        if not self.decays_within(row, high_ns):
+            return None
+        if self.decays_within(row, low_ns):
+            return low_ns
+        lo, hi = low_ns, high_ns
+        for _ in range(steps):
+            mid = (lo * hi) ** 0.5  # geometric bisection over decades
+            if self.decays_within(row, mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def find_canaries(
+        self,
+        rows: Sequence[int],
+        max_retention_ns: float = 4e9,
+        limit: int = 4,
+    ) -> dict[int, float]:
+        """Rows whose retention is short enough to act as U-TRR canaries."""
+        canaries: dict[int, float] = {}
+        for row in rows:
+            retention = self.measure_retention(row, high_ns=max_retention_ns)
+            if retention is not None:
+                canaries[row] = retention
+                if len(canaries) >= limit:
+                    break
+        return canaries
+
+
+@dataclass
+class TrrFindings:
+    """What the prober concluded about a module's TRR."""
+
+    trr_detected: bool
+    capable_ref_period: Optional[int] = None
+    sampler_window_estimate: Optional[int] = None
+
+
+class TrrProber:
+    """Infers TRR behavior from canary survival (after U-TRR)."""
+
+    def __init__(self, module: DramModule, bank: int = 0) -> None:
+        self.module = module
+        self.bank = bank
+        self.profiler = RetentionProfiler(module, bank)
+
+    # ------------------------------------------------------------------
+    def _hammer_then_refs(
+        self,
+        host: DramBenderHost,
+        aggressor: int,
+        acts: int,
+        refs: int,
+    ) -> None:
+        """Issue ``acts`` activations of an aggressor then ``refs`` REFs."""
+        timing = self.module.timing
+        builder = ProgramBuilder("trr-probe")
+        body = ProgramBuilder().act(
+            self.bank, self.module.to_logical(aggressor), timing.tRP
+        ).pre(self.bank, timing.tRAS)
+        builder.loop(acts, body)
+        for _ in range(refs):
+            builder.ref(timing.tREFI)
+        host.run(builder.build())
+
+    def canary_refreshed_by_trr(
+        self,
+        canary: int,
+        canary_retention_ns: float,
+        refs: int,
+        filler_acts: int = 300,
+    ) -> bool:
+        """One U-TRR trial: does TRR preventively refresh the canary?
+
+        The canary is a *victim* (physical neighbor) of the hammered
+        aggressor.  U-TRR's timing trick: idle 0.8 retention times, run the
+        hammer+REF window, idle another 0.8 retention times, then read.
+        The total idle exceeds the retention time, so the canary survives
+        only if something refreshed it *during* the REF window -- a
+        targeted refresh of the sampled aggressor's victims.
+        """
+        aggressor = canary + 1
+        host = DramBenderHost(self.module)
+        marker = np.full(self.module.geometry.row_bytes, 0xC3, dtype=np.uint8)
+        logical = self.module.to_logical(canary)
+        host.write_rows(self.bank, {logical: marker})
+        host.now_ns += canary_retention_ns * 0.8
+        self._hammer_then_refs(host, aggressor, filler_acts, refs)
+        host.now_ns += canary_retention_ns * 0.8
+        data = host.read_rows(self.bank, [logical])[logical]
+        return bool(np.array_equal(data, marker))
+
+    # ------------------------------------------------------------------
+    def detect(self, canaries: Optional[dict[int, float]] = None) -> TrrFindings:
+        """Full probing flow: detection, capable-REF period, window size."""
+        if canaries is None:
+            candidates = [
+                row
+                for row in range(3, self.module.geometry.rows_per_bank - 3, 5)
+            ]
+            canaries = self.profiler.find_canaries(candidates, limit=2)
+        if not canaries:
+            return TrrFindings(trr_detected=False)
+        canary, retention = next(iter(canaries.items()))
+
+        # TRR detection: with enough REFs after sampling, a TRR-capable
+        # REF must land and refresh the canary.
+        detected = self.canary_refreshed_by_trr(canary, retention, refs=16)
+        if not detected:
+            return TrrFindings(trr_detected=False)
+
+        period = None
+        for refs in range(1, 17):
+            if self.canary_refreshed_by_trr(canary, retention, refs=refs):
+                period = refs
+                break
+
+        window = self._estimate_window(canary, retention, period or 8)
+        return TrrFindings(
+            trr_detected=True,
+            capable_ref_period=period,
+            sampler_window_estimate=window,
+        )
+
+    def _estimate_window(
+        self,
+        canary: int,
+        retention_ns: float,
+        capable_period: int,
+        trials: int = 5,
+    ) -> Optional[int]:
+        """Estimate the sampler window by flooding with a dummy row.
+
+        After hammering the canary's aggressor, issue K dummy activations;
+        once K exceeds the sampler window the aggressor is evicted and the
+        canary is never refreshed.  Binary-search the eviction point.
+        """
+        timing = self.module.timing
+        dummy = canary + 40
+        if dummy >= self.module.geometry.rows_per_bank:
+            dummy = canary - 40
+        marker = np.full(self.module.geometry.row_bytes, 0x3C, dtype=np.uint8)
+        logical = self.module.to_logical(canary)
+
+        def refreshed_with_flood(flood: int) -> bool:
+            for _ in range(trials):
+                host = DramBenderHost(self.module)
+                host.write_rows(self.bank, {logical: marker})
+                host.now_ns += retention_ns * 0.8
+                builder = ProgramBuilder("window-probe")
+                agg_body = ProgramBuilder().act(
+                    self.bank, self.module.to_logical(canary + 1), timing.tRP
+                ).pre(self.bank, timing.tRAS)
+                builder.loop(200, agg_body)
+                dummy_body = ProgramBuilder().act(
+                    self.bank, self.module.to_logical(dummy), timing.tRP
+                ).pre(self.bank, timing.tRAS)
+                builder.loop(flood, dummy_body)
+                for _ in range(capable_period):
+                    builder.ref(timing.tREFI)
+                host.run(builder.build())
+                host.now_ns += retention_ns * 0.8
+                data = host.read_rows(self.bank, [logical])[logical]
+                if np.array_equal(data, marker):
+                    return True
+            return False
+
+        lo, hi = 1, 4096
+        if refreshed_with_flood(hi):
+            return None  # window larger than probed
+        while hi - lo > 32:
+            mid = (lo + hi) // 2
+            if refreshed_with_flood(mid):
+                lo = mid
+            else:
+                hi = mid
+        return hi

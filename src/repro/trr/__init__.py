@@ -1,0 +1,5 @@
+"""In-DRAM Target Row Refresh mechanism model (§7)."""
+
+from .mechanism import SamplingTrr
+
+__all__ = ["SamplingTrr"]

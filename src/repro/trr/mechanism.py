@@ -1,0 +1,77 @@
+"""Sampling-based Target Row Refresh (TRR), as uncovered by U-TRR.
+
+§7 finds the tested SK Hynix module uses a *sampling-based* TRR: the chip
+probabilistically samples one aggressor row address from the last 450 ACT
+commands preceding a TRR-capable REF, and preventively refreshes that row's
+victims when the REF arrives.  Only a subset of REFs are TRR-capable.
+
+The mechanism sees nothing but the command bus -- which is precisely why
+SiMRA bypasses it: one SiMRA operation simultaneously activates up to 32
+rows while issuing only two ACT commands (Obs. 26).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..disturbance.calibration import (
+    TRR_CAPABLE_REF_PERIOD,
+    TRR_SAMPLER_WINDOW,
+)
+from ..disturbance.distributions import rng_for
+
+
+class SamplingTrr:
+    """In-DRAM TRR model implementing :class:`~repro.dram.bank.TrrHook`."""
+
+    def __init__(
+        self,
+        window: int = TRR_SAMPLER_WINDOW,
+        capable_ref_period: int = TRR_CAPABLE_REF_PERIOD,
+        seed: int = 0,
+    ) -> None:
+        if window < 1:
+            raise ValueError("sampler window must be positive")
+        if capable_ref_period < 1:
+            raise ValueError("capable REF period must be positive")
+        self.window = window
+        self.capable_ref_period = capable_ref_period
+        self._buffers: dict[int, deque[int]] = {}
+        self._ref_counter: dict[int, int] = {}
+        self._rng: np.random.Generator = rng_for("sampling-trr", seed)
+        self.stats = {"acts_seen": 0, "refs_seen": 0, "targeted_refreshes": 0}
+
+    def _buffer(self, bank: int) -> deque[int]:
+        buf = self._buffers.get(bank)
+        if buf is None:
+            buf = deque(maxlen=self.window)
+            self._buffers[bank] = buf
+        return buf
+
+    # ------------------------------------------------------------------
+    # TrrHook interface
+    # ------------------------------------------------------------------
+    def on_act(self, bank: int, row: int, now_ns: float) -> None:
+        self.stats["acts_seen"] += 1
+        self._buffer(bank).append(row)
+
+    def on_ref(self, bank: int, now_ns: float) -> list[int]:
+        self.stats["refs_seen"] += 1
+        count = self._ref_counter.get(bank, 0) + 1
+        self._ref_counter[bank] = count
+        # One in `capable_ref_period` REFs performs a targeted refresh, at
+        # unpredictable positions (U-TRR finds no fixed phase): a fixed
+        # phase would let an attacker park the dummy flood exactly on the
+        # capable REFs and starve the sampler deterministically.
+        if self._rng.random() >= 1.0 / self.capable_ref_period:
+            return []
+        buffer = self._buffer(bank)
+        if not buffer:
+            return []
+        index = int(self._rng.integers(0, len(buffer)))
+        sampled = buffer[index]
+        buffer.clear()
+        self.stats["targeted_refreshes"] += 1
+        return [sampled]

@@ -1,0 +1,28 @@
+"""Synthetic workload profiles, traces and five-core mixes (§8.2)."""
+
+from .mixes import (
+    PUD_PERIODS_NS,
+    PudWorkloadConfig,
+    WorkloadMix,
+    build_mixes,
+)
+from .profiles import (
+    ALL_SUITES,
+    WorkloadProfile,
+    all_profiles,
+    profile_by_name,
+)
+from .traces import TraceEntry, TraceGenerator
+
+__all__ = [
+    "ALL_SUITES",
+    "PUD_PERIODS_NS",
+    "PudWorkloadConfig",
+    "TraceEntry",
+    "TraceGenerator",
+    "WorkloadMix",
+    "WorkloadProfile",
+    "all_profiles",
+    "build_mixes",
+    "profile_by_name",
+]

@@ -1,0 +1,62 @@
+"""Five-core multiprogrammed workload mixes (§8.2).
+
+Each Fig. 25 mix pairs four benchmark workloads (one per suite, drawn
+deterministically) with one synthetic PuD workload that performs one
+SiMRA-32 operation and one CoMRA operation back-to-back every N ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..disturbance.distributions import rng_for
+from .profiles import ALL_SUITES, WorkloadProfile, all_profiles
+
+
+@dataclass(frozen=True)
+class PudWorkloadConfig:
+    """The synthetic PuD core: one SiMRA-32 + one CoMRA every period."""
+
+    period_ns: float
+    simra_rows: int = 32
+    #: compute-region rows the ops repeatedly touch (§8.1's layout)
+    target_bank: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One five-core mix: four trace cores plus the PuD core."""
+
+    mix_id: int
+    profiles: tuple[WorkloadProfile, ...]
+
+    @property
+    def core_count(self) -> int:
+        return len(self.profiles) + 1  # + PuD core
+
+
+#: Fig. 25's sweep of PuD operation periods (125 ns .. 16 us).
+PUD_PERIODS_NS = (125.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0)
+
+
+def build_mixes(count: int = 60, cores_per_mix: int = 4) -> list[WorkloadMix]:
+    """Deterministically build multiprogrammed mixes.
+
+    Each mix draws its workloads from distinct suites where possible,
+    mirroring the paper's "four workloads from five major benchmark
+    suites" construction.
+    """
+    rng = rng_for("fig25-mixes", count, cores_per_mix)
+    suites = list(ALL_SUITES)
+    mixes: list[WorkloadMix] = []
+    for mix_id in range(count):
+        chosen_suites = list(rng.permutation(suites))[:cores_per_mix]
+        profiles = []
+        for suite in chosen_suites:
+            members = ALL_SUITES[suite]
+            profiles.append(members[int(rng.integers(0, len(members)))])
+        while len(profiles) < cores_per_mix:
+            pool = all_profiles()
+            profiles.append(pool[int(rng.integers(0, len(pool)))])
+        mixes.append(WorkloadMix(mix_id, tuple(profiles)))
+    return mixes

@@ -1,0 +1,92 @@
+"""Synthetic workload profiles standing in for the paper's trace suites.
+
+Fig. 25 mixes workloads from five benchmark suites (SPEC CPU2006, SPEC
+CPU2017, TPC, MediaBench, YCSB).  We cannot redistribute those traces, so
+each suite is represented by synthetic memory-behavior profiles whose
+first-order statistics (misses per kilo-instruction, row-buffer locality,
+bank spread, read share) follow the published characterization of those
+suites (e.g. the DAMOV and Ramulator workload studies).
+
+What matters for the Fig. 25 experiment is the *pressure* each core puts on
+the shared memory controller, which these three knobs capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """First-order memory behavior of one benchmark."""
+
+    name: str
+    suite: str
+    #: last-level-cache misses per kilo-instruction reaching DRAM
+    mpki: float
+    #: probability a request hits the currently-open row of its bank
+    row_locality: float
+    #: number of banks the workload's footprint spreads over
+    bank_spread: int
+    #: fraction of requests that are reads
+    read_fraction: float = 0.67
+
+    def __post_init__(self) -> None:
+        if self.mpki <= 0:
+            raise ValueError("mpki must be positive")
+        if not 0 <= self.row_locality <= 1:
+            raise ValueError("row_locality must be in [0, 1]")
+
+
+#: Representative members of each suite (names follow the real benchmarks
+#: whose behavior each profile mimics).
+SPEC2006 = (
+    WorkloadProfile("mcf-like", "spec2006", mpki=48.0, row_locality=0.18, bank_spread=8),
+    WorkloadProfile("lbm-like", "spec2006", mpki=28.0, row_locality=0.62, bank_spread=4),
+    WorkloadProfile("milc-like", "spec2006", mpki=20.0, row_locality=0.35, bank_spread=8),
+    WorkloadProfile("omnetpp-like", "spec2006", mpki=16.0, row_locality=0.22, bank_spread=8),
+    WorkloadProfile("gcc-like", "spec2006", mpki=4.0, row_locality=0.45, bank_spread=4),
+)
+
+SPEC2017 = (
+    WorkloadProfile("roms-like", "spec2017", mpki=22.0, row_locality=0.58, bank_spread=4),
+    WorkloadProfile("fotonik-like", "spec2017", mpki=32.0, row_locality=0.50, bank_spread=8),
+    WorkloadProfile("xz-like", "spec2017", mpki=8.0, row_locality=0.30, bank_spread=4),
+    WorkloadProfile("cactu-like", "spec2017", mpki=12.0, row_locality=0.55, bank_spread=4),
+)
+
+TPC = (
+    WorkloadProfile("tpch-q6-like", "tpc", mpki=18.0, row_locality=0.70, bank_spread=8),
+    WorkloadProfile("tpcc-like", "tpc", mpki=14.0, row_locality=0.25, bank_spread=8),
+)
+
+MEDIABENCH = (
+    WorkloadProfile("h264-like", "mediabench", mpki=9.0, row_locality=0.80, bank_spread=2),
+    WorkloadProfile("jpeg2k-like", "mediabench", mpki=12.0, row_locality=0.75, bank_spread=2),
+)
+
+YCSB = (
+    WorkloadProfile("ycsb-a-like", "ycsb", mpki=24.0, row_locality=0.15, bank_spread=8,
+                    read_fraction=0.5),
+    WorkloadProfile("ycsb-c-like", "ycsb", mpki=20.0, row_locality=0.15, bank_spread=8,
+                    read_fraction=1.0),
+)
+
+ALL_SUITES: dict[str, tuple[WorkloadProfile, ...]] = {
+    "spec2006": SPEC2006,
+    "spec2017": SPEC2017,
+    "tpc": TPC,
+    "mediabench": MEDIABENCH,
+    "ycsb": YCSB,
+}
+
+
+def all_profiles() -> list[WorkloadProfile]:
+    return [profile for suite in ALL_SUITES.values() for profile in suite]
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    for profile in all_profiles():
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown workload profile {name!r}")

@@ -1,0 +1,30 @@
+"""Temperature controller behavior."""
+
+import pytest
+
+from repro.bender.environment import TemperatureController
+
+
+class TestController:
+    def test_settles_to_target(self, hynix_module):
+        controller = TemperatureController(hynix_module)
+        reading = controller.hold(80.0)
+        assert reading == pytest.approx(80.0, abs=controller.tolerance_c)
+        assert hynix_module.temperature_c == 80.0
+
+    def test_step_moves_toward_target(self, hynix_module):
+        controller = TemperatureController(hynix_module)
+        controller.set_target(80.0)
+        before = controller.current_c
+        controller.step(10.0)
+        assert before < controller.current_c < 80.0
+
+    def test_rejects_out_of_range_setpoint(self, hynix_module):
+        controller = TemperatureController(hynix_module)
+        with pytest.raises(ValueError):
+            controller.set_target(200.0)
+
+    def test_rejects_nonpositive_step(self, hynix_module):
+        controller = TemperatureController(hynix_module)
+        with pytest.raises(ValueError):
+            controller.step(0.0)

@@ -1,0 +1,45 @@
+"""Test-program DSL: builder, durations, loop structure."""
+
+import pytest
+
+from repro.bender.program import Act, Loop, Nop, Pre, ProgramBuilder, Rd, Wr
+
+
+class TestBuilder:
+    def test_slacks_quantized(self):
+        program = ProgramBuilder().act(0, 1, slack_ns=7.4).build()
+        assert program.instructions[0].slack_ns == 7.5
+
+    def test_duration_counts_loops(self):
+        body = ProgramBuilder().act(0, 1, 13.5).pre(0, 36.0)
+        program = ProgramBuilder().loop(100, body).build()
+        assert program.duration_ns == pytest.approx(100 * 49.5)
+
+    def test_command_count_excludes_nops(self):
+        body = ProgramBuilder().act(0, 1, 13.5).nop(10.5).pre(0, 36.0)
+        program = ProgramBuilder().loop(10, body).build()
+        assert program.command_count == 20
+
+    def test_nested_loops(self):
+        inner = ProgramBuilder().act(0, 1, 1.5).pre(0, 1.5)
+        outer = ProgramBuilder().loop(5, inner)
+        program = ProgramBuilder().loop(3, outer).build()
+        assert program.command_count == 30
+        assert program.duration_ns == pytest.approx(45.0)
+
+    def test_flattened_unrolls(self):
+        body = ProgramBuilder().act(0, 1, 1.5)
+        program = ProgramBuilder().loop(4, body).build()
+        flat = list(program.flattened())
+        assert len(flat) == 4
+        assert all(isinstance(i, Act) for i in flat)
+
+    def test_wr_payload_bytes(self):
+        import numpy as np
+        program = ProgramBuilder().wr(0, 3, np.array([1, 2, 3], np.uint8)).build()
+        assert isinstance(program.instructions[0], Wr)
+        assert program.instructions[0].data == bytes([1, 2, 3])
+
+    def test_negative_loop_count_rejected(self):
+        with pytest.raises(ValueError):
+            Loop(-1, ())

@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+Module-scoped fixtures cache expensive simulated chips; tests that mutate
+chip state build their own modules instead.
+"""
+
+import pytest
+
+from repro import ExperimentScale, make_module
+from repro.core.session import CharacterizationSession
+
+
+@pytest.fixture(scope="session")
+def small_scale():
+    return ExperimentScale.small()
+
+
+@pytest.fixture()
+def hynix_module():
+    """A fresh SK Hynix 8Gb A-die module (SiMRA-capable, TRR-calibrated)."""
+    return make_module("hynix-a-8gb")
+
+
+@pytest.fixture()
+def samsung_module():
+    """A fresh Samsung module (no SiMRA)."""
+    return make_module("samsung-b-16gb")
+
+
+@pytest.fixture()
+def hynix_session(hynix_module, small_scale):
+    return CharacterizationSession(hynix_module, small_scale)

@@ -1,0 +1,65 @@
+"""HC_first bisection search."""
+
+import pytest
+
+from repro.core import patterns
+from repro.core.hcfirst import (
+    ProbeSetup,
+    find_hc_first,
+    find_hc_first_repeated,
+    run_probe,
+    standard_row_data,
+)
+from repro.disturbance import Mechanism
+
+
+def make_setup(module, victim, pattern=None):
+    pattern = pattern or module.model.worst_case_pattern(0, victim, Mechanism.ROWHAMMER)
+    return ProbeSetup(
+        module=module,
+        program_factory=lambda n: patterns.double_sided_rowhammer(module, victim, n),
+        row_data=standard_row_data(module, [victim - 1, victim + 1], [victim], pattern),
+        victims=[victim],
+    )
+
+
+class TestBisection:
+    def test_converges_near_oracle(self, hynix_module):
+        victim = 2 * 96 + 40
+        setup = make_setup(hynix_module, victim)
+        oracle = hynix_module.model.reference_hcfirst(0, victim, Mechanism.ROWHAMMER)
+        result = find_hc_first(setup)
+        assert result.found
+        assert result.hc_first == pytest.approx(oracle, rel=0.02)
+
+    def test_no_flip_below_cap_returns_none(self, hynix_module):
+        victim = 2 * 96 + 40
+        setup = make_setup(hynix_module, victim)
+        result = find_hc_first(setup, max_hammers=100)
+        assert not result.found
+        assert result.hc_first is None
+
+    def test_probe_counts_flips(self, hynix_module):
+        victim = 2 * 96 + 40
+        setup = make_setup(hynix_module, victim)
+        oracle = hynix_module.model.reference_hcfirst(0, victim, Mechanism.ROWHAMMER)
+        assert run_probe(setup, int(oracle * 1.1)).flips > 0
+        assert run_probe(setup, int(oracle * 0.9)).flips == 0
+
+    def test_zero_count_probe_is_clean(self, hynix_module):
+        victim = 2 * 96 + 40
+        setup = make_setup(hynix_module, victim)
+        assert run_probe(setup, 0).flips == 0
+
+    def test_repeats_agree_on_deterministic_chip(self, hynix_module):
+        victim = 2 * 96 + 40
+        setup = make_setup(hynix_module, victim)
+        single = find_hc_first(setup)
+        best = find_hc_first_repeated(setup, repeats=3)
+        assert best.hc_first == single.hc_first
+
+    def test_coarser_convergence_is_cheaper(self, hynix_module):
+        victim = 2 * 96 + 40
+        fine = find_hc_first(make_setup(hynix_module, victim), convergence=0.01)
+        coarse = find_hc_first(make_setup(hynix_module, victim), convergence=0.10)
+        assert coarse.probes <= fine.probes

@@ -1,0 +1,55 @@
+"""Distribution summaries and change distributions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import ChangeDistribution, DistributionSummary
+
+
+class TestSummary:
+    def test_five_numbers(self):
+        summary = DistributionSummary.from_values([1, 2, 3, 4, 5])
+        assert summary.minimum == 1
+        assert summary.median == 3
+        assert summary.maximum == 5
+        assert summary.mean == 3
+
+    def test_skips_non_finite(self):
+        summary = DistributionSummary.from_values([1.0, math.inf, 2.0, None])
+        assert summary.count == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DistributionSummary.from_values([])
+
+    def test_format_row(self):
+        summary = DistributionSummary.from_values([1, 2, 3])
+        assert "min=1" in summary.format_row("x").replace(" ", "").replace("min=1.0", "min=1")
+
+
+class TestChangeDistribution:
+    def test_sorted_most_positive_first(self):
+        dist = ChangeDistribution.from_pairs([100, 100, 100], [50, 150, 100])
+        assert dist.changes[0] == 50.0
+        assert dist.changes[-1] == -50.0
+
+    def test_fraction_improved(self):
+        dist = ChangeDistribution.from_pairs([100, 100, 100, 100],
+                                             [50, 60, 110, 120])
+        assert dist.fraction_improved == 0.5
+
+    def test_fraction_reduced_by(self):
+        dist = ChangeDistribution.from_pairs([100, 100], [0.5, 90])
+        assert dist.fraction_reduced_by(99.0) == 0.5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ChangeDistribution.from_pairs([1], [1, 2])
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e6), min_size=1, max_size=50))
+    def test_identical_pairs_mean_no_change(self, values):
+        dist = ChangeDistribution.from_pairs(values, values)
+        assert all(c == 0.0 for c in dist.changes)
+        assert dist.fraction_improved == 0.0

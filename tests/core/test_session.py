@@ -1,0 +1,84 @@
+"""Characterization session primitives."""
+
+import pytest
+
+from repro.core import CharacterizationSession, ExperimentScale
+from repro.disturbance import Mechanism
+
+
+class TestVictimSelection:
+    def test_victims_in_tested_subarrays(self, hynix_session):
+        geometry = hynix_session.module.geometry
+        for victim in hynix_session.candidate_victims():
+            assert geometry.subarray_of(victim) in (0, 2)
+
+    def test_victims_have_sandwich(self, hynix_session):
+        geometry = hynix_session.module.geometry
+        for victim in hynix_session.candidate_victims():
+            assert geometry.same_subarray(victim - 1, victim + 1)
+
+    def test_sentinels_included(self, hynix_session):
+        model = hynix_session.module.model
+        victims = hynix_session.candidate_victims()
+        assert model.sentinel_row(Mechanism.ROWHAMMER) in victims
+        assert model.sentinel_row(Mechanism.COMRA) in victims
+
+
+class TestMeasurements:
+    def test_rowhammer_matches_oracle(self, hynix_session):
+        victim = hynix_session.candidate_victims()[2]
+        oracle = hynix_session.module.model.reference_hcfirst(
+            0, victim, Mechanism.ROWHAMMER
+        )
+        m = hynix_session.measure_rowhammer_ds(victim)
+        assert m.found
+        assert m.hc_first == pytest.approx(oracle, rel=0.02)
+
+    def test_comra_lower_than_rowhammer_generally(self, hynix_session):
+        improved = 0
+        victims = hynix_session.candidate_victims()[:6]
+        for victim in victims:
+            rh = hynix_session.measure_rowhammer_ds(victim)
+            comra = hynix_session.measure_comra_ds(victim)
+            if rh.found and comra.found and comra.hc_first < rh.hc_first:
+                improved += 1
+        assert improved >= len(victims) * 0.6
+
+    def test_wcdp_oracle_matches_measured(self, hynix_module):
+        # measured WCDP (4 coarse searches) should agree with the oracle
+        scale = ExperimentScale.small().with_overrides(wcdp_mode="measured")
+        session = CharacterizationSession(hynix_module, scale)
+        victim = session.candidate_victims()[2]
+        measured = session.measure_wcdp(victim, Mechanism.ROWHAMMER)
+        oracle = hynix_module.model.worst_case_pattern(0, victim, Mechanism.ROWHAMMER)
+        m_oracle = session.measure_rowhammer_ds(victim, pattern=oracle)
+        m_measured = session.measure_rowhammer_ds(victim, pattern=measured)
+        assert m_measured.hc_first <= m_oracle.hc_first * 1.02
+
+    def test_simra_group_sampling_deterministic(self, hynix_session):
+        a = [p.group for p in hynix_session.sample_simra_pairs(4)]
+        b = [p.group for p in hynix_session.sample_simra_pairs(4)]
+        assert a == b
+
+    def test_measurement_metadata(self, hynix_session):
+        victim = hynix_session.candidate_victims()[2]
+        m = hynix_session.measure_comra_ds(victim)
+        assert m.mechanism is Mechanism.COMRA
+        assert m.vendor == "SK Hynix"
+        assert m.params["sided"] == "double"
+
+
+class TestCombined:
+    def test_combined_reduces_rowhammer_phase(self, hynix_session):
+        victims = hynix_session.combined_victims()
+        assert victims
+        outcome = hynix_session.measure_combined(victims[0], comra_fraction=0.9)
+        assert outcome is not None
+        assert outcome.hc_combined <= outcome.hc_rowhammer
+        assert outcome.reduction >= 1.0
+
+    def test_zero_fractions_match_plain_rowhammer(self, hynix_session):
+        victims = hynix_session.combined_victims()
+        outcome = hynix_session.measure_combined(victims[0])
+        assert outcome is not None
+        assert outcome.reduction == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,100 @@
+"""Calibration table invariants (Tables 1 and 2)."""
+
+import pytest
+
+from repro.disturbance.calibration import (
+    ALL_PATTERNS,
+    DataPattern,
+    FlipDirection,
+    MODULE_CALIBRATIONS,
+    Mechanism,
+    VENDOR_CALIBRATIONS,
+    Vendor,
+    configs_for_vendor,
+    module_calibration,
+    vendor_calibration,
+)
+from repro.dram.errors import CalibrationError
+
+
+class TestPopulation:
+    def test_totals_match_paper(self):
+        assert sum(c.n_modules for c in MODULE_CALIBRATIONS) == 40
+        assert sum(c.n_chips for c in MODULE_CALIBRATIONS) == 316
+
+    def test_all_four_vendors_present(self):
+        assert {c.vendor for c in MODULE_CALIBRATIONS} == set(Vendor)
+
+    def test_simra_only_on_hynix(self):
+        for calibration in MODULE_CALIBRATIONS:
+            if calibration.supports_simra:
+                assert calibration.vendor is Vendor.SK_HYNIX
+        assert all(c.supports_simra for c in configs_for_vendor(Vendor.SK_HYNIX))
+
+    def test_exactly_one_trr_module(self):
+        trr = [c for c in MODULE_CALIBRATIONS if c.has_trr]
+        assert len(trr) == 1
+        assert trr[0].config_id == "hynix-a-8gb"
+
+    def test_lookup(self):
+        assert module_calibration("nanya-c-8gb").vendor is Vendor.NANYA
+        with pytest.raises(CalibrationError):
+            module_calibration("missing")
+
+    def test_paper_headline_minima(self):
+        assert module_calibration("hynix-a-8gb").simra_min == 26
+        assert module_calibration("hynix-a-4gb").comra_min == 447
+        assert module_calibration("micron-f-16gb").rh_min == 4123
+
+
+class TestVendorTables:
+    @pytest.mark.parametrize("vendor", list(Vendor))
+    def test_calibration_complete(self, vendor):
+        cal = vendor_calibration(vendor)
+        for mechanism in (Mechanism.ROWHAMMER, Mechanism.COMRA):
+            table = cal.pattern_coupling[mechanism]
+            assert set(table) == set(ALL_PATTERNS)
+            assert max(table.values()) == pytest.approx(1.0, abs=0.01)
+        assert set(cal.press_anchors) == set(Mechanism)
+        assert len(cal.comra_latency_decay) == 4
+        for profile in cal.spatial_profile.values():
+            assert len(profile) == 5
+
+    def test_only_hynix_supports_simra(self):
+        for vendor, cal in VENDOR_CALIBRATIONS.items():
+            assert cal.supports_simra == (vendor is Vendor.SK_HYNIX)
+
+    def test_simra_flips_one_to_zero(self):
+        cal = vendor_calibration(Vendor.SK_HYNIX)
+        assert cal.dominant_direction[Mechanism.SIMRA] is FlipDirection.ONE_TO_ZERO
+        assert cal.dominant_direction[Mechanism.ROWHAMMER] is FlipDirection.ZERO_TO_ONE
+
+    def test_micron_comra_temperature_inverted(self):
+        micron = vendor_calibration(Vendor.MICRON)
+        hynix = vendor_calibration(Vendor.SK_HYNIX)
+        assert micron.temp_slope_mean[Mechanism.COMRA] < 0
+        assert hynix.temp_slope_mean[Mechanism.COMRA] > 0
+
+    def test_nanya_solid_patterns_ineffective(self):
+        nanya = vendor_calibration(Vendor.NANYA)
+        table = nanya.pattern_coupling[Mechanism.COMRA]
+        assert table[DataPattern.ALL_ZEROS] < 0.1
+        assert table[DataPattern.CHECKER_AA] == pytest.approx(1.0)
+
+
+class TestDataPattern:
+    def test_negation_pairs(self):
+        assert DataPattern.ALL_ZEROS.negated is DataPattern.ALL_ONES
+        assert DataPattern.CHECKER_AA.negated is DataPattern.CHECKER_55
+
+    def test_fill(self):
+        buf = DataPattern.CHECKER_AA.fill(16)
+        assert buf.shape == (16,) and (buf == 0xAA).all()
+
+    def test_ones_fraction(self):
+        assert DataPattern.ALL_ONES.ones_fraction == 1.0
+        assert DataPattern.CHECKER_55.ones_fraction == 0.5
+
+    def test_direction_vulnerable_bits(self):
+        assert FlipDirection.ONE_TO_ZERO.vulnerable_bit == 1
+        assert FlipDirection.ZERO_TO_ONE.opposite is FlipDirection.ONE_TO_ZERO

@@ -1,0 +1,137 @@
+"""Statistical helpers: fitting, quantiles, determinism."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disturbance.distributions import (
+    Lognormal,
+    MixtureRatio,
+    fit_lognormal_min_avg,
+    geometric_mean,
+    log_interp,
+    normal_cdf,
+    normal_ppf,
+    rng_for,
+    solve_ratio_lognormal,
+    stable_seed,
+)
+
+
+class TestNormalPrimitives:
+    @pytest.mark.parametrize("q,expected", [
+        (0.5, 0.0), (0.8413447, 1.0), (0.0227501, -2.0), (0.9986501, 3.0),
+    ])
+    def test_ppf_reference_points(self, q, expected):
+        assert normal_ppf(q) == pytest.approx(expected, abs=1e-5)
+
+    def test_ppf_cdf_roundtrip(self):
+        for q in (0.001, 0.01, 0.3, 0.5, 0.77, 0.99, 0.999):
+            assert normal_cdf(normal_ppf(q)) == pytest.approx(q, abs=1e-8)
+
+    def test_ppf_domain(self):
+        with pytest.raises(ValueError):
+            normal_ppf(0.0)
+        with pytest.raises(ValueError):
+            normal_ppf(1.0)
+
+
+class TestSeeding:
+    def test_stable_across_calls(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+
+    def test_rng_reproducible(self):
+        assert rng_for("x", 3).random() == rng_for("x", 3).random()
+
+
+class TestFitMinAvg:
+    def test_matches_mean(self):
+        dist = fit_lognormal_min_avg(1000, 10000, population=5000)
+        assert dist.mean == pytest.approx(10000, rel=1e-9)
+
+    def test_expected_min_near_reported(self):
+        dist = fit_lognormal_min_avg(1000, 10000, population=5000)
+        samples = dist.sample(np.random.default_rng(0), 5000)
+        # expected sample minimum within a factor ~2 of the reported one
+        assert 400 < samples.min() < 2500
+
+    def test_degenerate_when_min_equals_avg(self):
+        dist = fit_lognormal_min_avg(5000, 5000, population=100)
+        assert dist.sigma == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(Exception):
+            fit_lognormal_min_avg(10000, 1000, population=100)
+        with pytest.raises(Exception):
+            fit_lognormal_min_avg(100, 1000, population=1)
+
+    @given(
+        st.floats(min_value=10, max_value=1e5),
+        st.floats(min_value=1.01, max_value=50.0),
+        st.integers(min_value=100, max_value=100_000),
+    )
+    @settings(max_examples=50)
+    def test_property_mean_preserved(self, minimum, ratio, population):
+        average = minimum * ratio
+        dist = fit_lognormal_min_avg(minimum, average, population)
+        assert dist.mean == pytest.approx(average, rel=1e-6)
+        assert dist.sigma >= 0
+
+
+class TestRatioSolver:
+    def test_constraints_hit(self):
+        dist = solve_ratio_lognormal(mean_inverse=1 / 1.4, prob_above_one=0.99)
+        # P(r > 1) = Phi(mu / sigma)
+        assert normal_cdf(dist.mu / dist.sigma) == pytest.approx(0.99, abs=1e-6)
+        # E[1/r] = exp(-mu + sigma^2 / 2)
+        assert math.exp(-dist.mu + dist.sigma**2 / 2) == pytest.approx(1 / 1.4, rel=1e-6)
+
+    @given(st.floats(min_value=0.3, max_value=0.95),
+           st.floats(min_value=0.8, max_value=0.995))
+    @settings(max_examples=50)
+    def test_property_feasible_region(self, mean_inverse, prob):
+        dist = solve_ratio_lognormal(mean_inverse, prob)
+        assert dist.sigma > 0
+
+
+class TestMixture:
+    def test_solver_hits_mean_inverse(self):
+        mixture = MixtureRatio.solve(mean_inverse=0.26, p_hi=0.27, hi_median=130)
+        assert mixture.mean_inverse == pytest.approx(0.26, rel=0.05)
+
+    def test_sampling_bimodal(self):
+        mixture = MixtureRatio.solve(mean_inverse=0.26, p_hi=0.27, hi_median=130)
+        rng = np.random.default_rng(1)
+        samples = [mixture.sample(rng) for _ in range(2000)]
+        high = sum(1 for s in samples if s > 50)
+        assert 0.15 < high / len(samples) < 0.40
+
+
+class TestLogInterp:
+    ANCHORS = {36.0: 1.0, 144.0: 2.0, 7800.0: 12.0, 70200.0: 31.0}
+
+    def test_anchor_points_exact(self):
+        for x, y in self.ANCHORS.items():
+            assert log_interp(x, self.ANCHORS) == pytest.approx(y)
+
+    def test_clamped_outside(self):
+        assert log_interp(1.0, self.ANCHORS) == 1.0
+        assert log_interp(1e9, self.ANCHORS) == 31.0
+
+    def test_monotone_between_anchors(self):
+        values = [log_interp(x, self.ANCHORS) for x in (40, 100, 500, 5000, 50000)]
+        assert values == sorted(values)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

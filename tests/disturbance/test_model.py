@@ -1,0 +1,251 @@
+"""Fault model: profiles, damage accounting, flips, oracles."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disturbance import DataPattern, FlipDirection, Mechanism
+from repro.dram import make_module
+from repro.dram.commands import ActivationEvent
+
+
+def ds_event(bank, rows, t_open=0.0, t_on=36.0, kind=ActivationEvent.Kind.SINGLE,
+             **kw):
+    return ActivationEvent(
+        rows=tuple(rows), kind=kind, bank=bank, t_open_ns=t_open,
+        t_close_ns=t_open + t_on, **kw,
+    )
+
+
+class TestProfiles:
+    def test_deterministic(self, hynix_module):
+        a = hynix_module.model.profile(0, 50)
+        b = make_module("hynix-a-8gb").model.profile(0, 50)
+        assert a.hc_ref == b.hc_ref
+        assert a.comra_ratio == b.comra_ratio
+
+    def test_distinct_rows_distinct_thresholds(self, hynix_module):
+        values = {hynix_module.model.profile(0, r).hc_ref for r in range(10, 30)}
+        assert len(values) > 15
+
+    def test_simra_ratios_sampled_for_all_counts(self, hynix_module):
+        profile = hynix_module.model.profile(0, 50)
+        assert set(profile.simra_ratio) == {2, 4, 8, 16, 32}
+
+    def test_samsung_has_no_simra_boost(self, samsung_module):
+        profile = samsung_module.model.profile(0, 50)
+        assert all(v == 1.0 for v in profile.simra_ratio.values())
+
+
+class TestSentinels:
+    def test_pinned_reference_values(self, hynix_module):
+        model = hynix_module.model
+        rh = model.sentinel_row(Mechanism.ROWHAMMER)
+        comra = model.sentinel_row(Mechanism.COMRA)
+        simra = model.sentinel_row(Mechanism.SIMRA)
+        assert model.reference_hcfirst(0, rh, Mechanism.ROWHAMMER) == pytest.approx(25_000)
+        assert model.reference_hcfirst(0, comra, Mechanism.COMRA) == pytest.approx(1_885)
+        assert model.reference_hcfirst(0, simra, Mechanism.SIMRA, 4) == pytest.approx(26)
+
+    def test_simra_sentinel_at_odd_block_offset(self, hynix_module):
+        simra = hynix_module.model.sentinel_row(Mechanism.SIMRA)
+        assert (simra % 32) % 2 == 1
+
+    def test_no_simra_sentinel_for_samsung(self, samsung_module):
+        assert samsung_module.model.sentinel_row(Mechanism.SIMRA) is None
+
+
+class TestDamageAccounting:
+    def test_linear_in_times(self, hynix_module):
+        model = hynix_module.model
+        victim = 50
+        event_a = ds_event(0, [49])
+        model.apply_event(event_a, times=10)
+        damage_10 = sum(model.damage_fraction(0, victim).values())
+        model.restore_row(0, victim)
+        model.apply_event(event_a, times=20)
+        damage_20 = sum(model.damage_fraction(0, victim).values())
+        assert damage_20 == pytest.approx(2 * damage_10)
+
+    def test_double_sided_reference_rate(self, hynix_module):
+        """One synergized DS iteration adds exactly weight/hc_ref."""
+        model = hynix_module.model
+        victim = 50
+        prof = model.profile(0, victim)
+        n = 1000
+        for _ in range(2):  # warm up synergy then measure
+            model.apply_event(ds_event(0, [49], t_open=0.0,
+                                       t_agg_off_ns={49: 63.0}))
+            model.apply_event(ds_event(0, [51], t_open=50.0,
+                                       t_agg_off_ns={51: 63.0}))
+        model.restore_row(0, victim)
+        model.apply_event(ds_event(0, [49], t_agg_off_ns={49: 63.0}), times=n)
+        model.apply_event(ds_event(0, [51], t_agg_off_ns={51: 63.0}), times=n)
+        dominant = (Mechanism.ROWHAMMER, FlipDirection.ZERO_TO_ONE)
+        damage = model.damage_fraction(0, victim)[dominant]
+        region = model._region_factor(prof, Mechanism.ROWHAMMER, None)
+        expected = n * region * 0.95 / prof.hc_ref  # unclassified pattern
+        assert damage == pytest.approx(expected, rel=0.01)
+
+    def test_restore_clears_damage(self, hynix_module):
+        model = hynix_module.model
+        model.apply_event(ds_event(0, [49]), times=500)
+        model.restore_row(0, 50)
+        assert model.damage_fraction(0, 50) == {}
+
+    def test_single_sided_weaker_by_row_penalty(self, hynix_module):
+        model = hynix_module.model
+        penalty = model.profile(0, 50).ss_penalty
+        # single-sided: only one neighbor hammered, never synergized
+        model.apply_event(ds_event(0, [49]), times=1000)
+        ss = sum(model.damage_fraction(0, 50).values())
+        model.restore_row(0, 50)
+        for _ in range(2):  # warm up double-sided synergy
+            model.apply_event(ds_event(0, [49]))
+            model.apply_event(ds_event(0, [51]))
+        model.restore_row(0, 50)
+        model.apply_event(ds_event(0, [49]), times=500)
+        model.apply_event(ds_event(0, [51]), times=500)
+        ds = sum(model.damage_fraction(0, 50).values())
+        # 500 synergized double-sided iterations vs 1000 penalized
+        # single-sided hits: the ratio is exactly the row's penalty
+        assert ds / ss == pytest.approx(penalty, rel=0.01)
+        assert penalty > 1.0
+
+    def test_comra_pair_stronger_than_rowhammer(self, hynix_module):
+        model = hynix_module.model
+        victim = 50
+        pair = ds_event(0, [49, 51], kind=ActivationEvent.Kind.COMRA_PAIR,
+                        pre_to_act_ns=7.5)
+        model.apply_event(pair, times=100)
+        comra_damage = model.coupled_damage(0, victim, FlipDirection.ZERO_TO_ONE)
+        model.restore_row(0, victim)
+        for _ in range(2):
+            model.apply_event(ds_event(0, [49]))
+            model.apply_event(ds_event(0, [51]))
+        model.restore_row(0, victim)
+        model.apply_event(ds_event(0, [49]), times=50)
+        model.apply_event(ds_event(0, [51]), times=50)
+        rh_damage = model.coupled_damage(0, victim, FlipDirection.ZERO_TO_ONE)
+        assert comra_damage > rh_damage
+
+    def test_simra_event_ignored_by_samsung(self, samsung_module):
+        model = samsung_module.model
+        event = ds_event(0, [48, 50], kind=ActivationEvent.Kind.SIMRA,
+                         pre_to_act_ns=3.0, simra_act_to_pre_ns=3.0)
+        model.apply_event(event, times=1000)
+        assert model.damage_fraction(0, 49) == {}
+
+
+class TestConditionFactors:
+    def test_temperature_increases_simra_weight(self, hynix_module):
+        model = hynix_module.model
+        prof = model.profile(0, 50)
+        hot = model._temperature_factor(prof, Mechanism.SIMRA, 80.0)
+        cold = model._temperature_factor(prof, Mechanism.SIMRA, 50.0)
+        assert hot / cold > 2.0  # ~3.2x per 30 degC
+
+    def test_reference_temperature_is_neutral(self, hynix_module):
+        model = hynix_module.model
+        prof = model.profile(0, 50)
+        for mechanism in Mechanism:
+            assert model._temperature_factor(prof, mechanism, 80.0) == 1.0
+
+    def test_press_factor_neutral_at_tras(self, hynix_module):
+        model = hynix_module.model
+        prof = model.profile(0, 50)
+        assert model._press_factor(prof, Mechanism.ROWHAMMER, 36.0) == 1.0
+        assert model._press_factor(prof, Mechanism.ROWHAMMER, 70_200.0) > 10.0
+
+    def test_aggoff_normalized_to_ds_loop(self, hynix_module):
+        model = hynix_module.model
+        assert model._aggoff_factor(63.0) == pytest.approx(1.0)
+        assert model._aggoff_factor(13.5) < 1.0
+        assert model._aggoff_factor(1e6) == pytest.approx(1.0)
+
+    def test_comra_latency_decay_monotone(self, hynix_module):
+        model = hynix_module.model
+        values = [model._comra_latency_factor(d) for d in (7.5, 9.0, 10.5, 12.0)]
+        assert values[0] == 1.0
+        assert values == sorted(values, reverse=True)
+
+    def test_simra_preact_slope(self, hynix_module):
+        model = hynix_module.model
+        assert model._simra_preact_factor(4.5) > model._simra_preact_factor(1.5)
+        assert model._simra_preact_factor(3.0) == pytest.approx(1.0)
+
+
+class TestFlips:
+    def _hammer_to(self, module, victim, fraction):
+        model = module.model
+        prof = model.profile(0, victim)
+        n = int(prof.hc_ref * fraction)
+        for _ in range(2):
+            model.apply_event(ds_event(0, [victim - 1], t_agg_off_ns={victim - 1: 63.0}))
+            model.apply_event(ds_event(0, [victim + 1], t_agg_off_ns={victim + 1: 63.0}))
+        model.restore_row(0, victim)
+        half = n // 2
+        model.apply_event(ds_event(0, [victim - 1], t_agg_off_ns={victim - 1: 63.0}), times=half)
+        model.apply_event(ds_event(0, [victim + 1], t_agg_off_ns={victim + 1: 63.0}), times=half)
+
+    def test_no_flips_below_threshold(self, hynix_module):
+        victim = 50
+        self._hammer_to(hynix_module, victim, 0.8)
+        data = DataPattern.ALL_ZEROS.fill(hynix_module.geometry.row_bytes)
+        assert hynix_module.model.realize_flips(0, victim, data) == 0
+
+    def test_flips_above_threshold_grow(self, hynix_module):
+        victim = 50
+        nbytes = hynix_module.geometry.row_bytes
+        self._hammer_to(hynix_module, victim, 3.0)
+        data = DataPattern.ALL_ZEROS.fill(nbytes)
+        few = hynix_module.model.realize_flips(0, victim, data)
+        assert few >= 1
+        fresh = make_module("hynix-a-8gb")
+        self._hammer_to(fresh, victim, 12.0)
+        data2 = DataPattern.ALL_ZEROS.fill(nbytes)
+        many = fresh.model.realize_flips(0, victim, data2)
+        assert many > few
+
+    def test_flip_direction_dominant_zero_to_one(self, hynix_module):
+        victim = 50
+        nbytes = hynix_module.geometry.row_bytes
+        self._hammer_to(hynix_module, victim, 2.0)
+        data = DataPattern.CHECKER_AA.fill(nbytes)
+        before = np.unpackbits(data.copy())
+        hynix_module.model.realize_flips(0, victim, data)
+        after = np.unpackbits(data)
+        zero_to_one = int(((before == 0) & (after == 1)).sum())
+        one_to_zero = int(((before == 1) & (after == 0)).sum())
+        assert zero_to_one >= one_to_zero
+
+    def test_idempotent_at_fixed_damage(self, hynix_module):
+        victim = 50
+        nbytes = hynix_module.geometry.row_bytes
+        self._hammer_to(hynix_module, victim, 3.0)
+        data = DataPattern.ALL_ZEROS.fill(nbytes)
+        first = hynix_module.model.realize_flips(0, victim, data)
+        second = hynix_module.model.realize_flips(0, victim, data)
+        assert first >= 1 and second == 0
+
+
+class TestOracles:
+    def test_wcdp_matches_best_coupling(self, hynix_module):
+        model = hynix_module.model
+        pattern = model.worst_case_pattern(0, 50, Mechanism.SIMRA)
+        # dominant SiMRA direction is 1->0: aggressor 0x00 exposes it
+        assert pattern is DataPattern.ALL_ZEROS
+
+    def test_reference_infinite_without_simra(self, samsung_module):
+        assert samsung_module.model.reference_hcfirst(
+            0, 50, Mechanism.SIMRA, 4
+        ) == math.inf
+
+    @given(st.integers(min_value=10, max_value=90))
+    @settings(max_examples=20, deadline=None)
+    def test_reference_positive_and_finite(self, victim):
+        module = make_module("hynix-a-8gb")
+        hc = module.model.reference_hcfirst(0, victim, Mechanism.ROWHAMMER)
+        assert 0 < hc < 1e7

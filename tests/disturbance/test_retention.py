@@ -1,0 +1,49 @@
+"""Retention decay model."""
+
+import numpy as np
+import pytest
+
+from repro.dram import make_module
+
+
+@pytest.fixture()
+def retention(hynix_module):
+    return hynix_module.retention
+
+
+class TestRetention:
+    def test_deterministic_per_row(self, hynix_module):
+        other = make_module("hynix-a-8gb")
+        assert hynix_module.retention.retention_ns(0, 7) == other.retention.retention_ns(0, 7)
+
+    def test_no_decay_before_retention(self, retention):
+        t_ret = retention.retention_ns(0, 7)
+        assert retention.decay_count(0, 7, t_ret * 0.9) == 0
+
+    def test_decay_monotone_in_elapsed(self, retention):
+        t_ret = retention.retention_ns(0, 7)
+        counts = [retention.decay_count(0, 7, t_ret * k) for k in (1.1, 2.0, 4.0)]
+        assert counts == sorted(counts)
+        assert counts[0] >= 1
+
+    def test_apply_decay_flips_bits(self, retention, hynix_module):
+        nbytes = hynix_module.geometry.row_bytes
+        row = 7
+        t_ret = retention.retention_ns(0, row)
+        anti = retention.is_anti_cell_row(0, row)
+        fill = 0x00 if anti else 0xFF  # ensure vulnerable polarity present
+        data = np.full(nbytes, fill, np.uint8)
+        flipped = retention.apply_decay(0, row, t_ret * 2, data)
+        assert flipped >= 1
+
+    def test_same_cells_decay_first(self, retention, hynix_module):
+        nbytes = hynix_module.geometry.row_bytes
+        row = 7
+        t_ret = retention.retention_ns(0, row)
+        anti = retention.is_anti_cell_row(0, row)
+        fill = 0x00 if anti else 0xFF
+        a = np.full(nbytes, fill, np.uint8)
+        b = np.full(nbytes, fill, np.uint8)
+        retention.apply_decay(0, row, t_ret * 1.6, a)
+        retention.apply_decay(0, row, t_ret * 1.6, b)
+        assert np.array_equal(a, b)

@@ -1,0 +1,44 @@
+"""Command and activation-event containers."""
+
+import pytest
+
+from repro.dram.commands import ActivationEvent, Opcode, TimedCommand
+
+
+class TestTimedCommand:
+    def test_act_requires_addresses(self):
+        with pytest.raises(ValueError):
+            TimedCommand(Opcode.ACT, bank=0)
+        with pytest.raises(ValueError):
+            TimedCommand(Opcode.ACT, row=5)
+        TimedCommand(Opcode.ACT, bank=0, row=5)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            TimedCommand(Opcode.NOP, slack_ns=-1.0)
+
+    def test_pre_requires_bank_only(self):
+        TimedCommand(Opcode.PRE, bank=1)
+        with pytest.raises(ValueError):
+            TimedCommand(Opcode.PRE)
+
+    def test_describe(self):
+        cmd = TimedCommand(Opcode.ACT, slack_ns=7.5, bank=1, row=42)
+        text = cmd.describe()
+        assert "ACT" in text and "b1" in text and "r42" in text
+
+
+class TestActivationEvent:
+    def test_t_agg_on(self):
+        event = ActivationEvent(
+            rows=(5,), kind=ActivationEvent.Kind.SINGLE, bank=0,
+            t_open_ns=100.0, t_close_ns=136.0,
+        )
+        assert event.t_agg_on_ns == 36.0
+
+    def test_t_agg_on_never_negative(self):
+        event = ActivationEvent(
+            rows=(5,), kind=ActivationEvent.Kind.SINGLE, bank=0,
+            t_open_ns=100.0, t_close_ns=90.0,
+        )
+        assert event.t_agg_on_ns == 0.0

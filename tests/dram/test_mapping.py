@@ -1,0 +1,88 @@
+"""Row mapping schemes: bijectivity and locality properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.errors import AddressError
+from repro.dram.mapping import (
+    BitInvertedHalfMapping,
+    MirroredPairMapping,
+    SequentialMapping,
+    make_mapping,
+)
+
+ROWS = 256
+
+
+@pytest.mark.parametrize("scheme", ["sequential", "mirrored-pair", "bit-inverted-half"])
+def test_all_schemes_bijective(scheme):
+    mapping = make_mapping(scheme, ROWS)
+    assert mapping.is_bijective()
+
+
+@pytest.mark.parametrize("scheme", ["sequential", "mirrored-pair", "bit-inverted-half"])
+def test_roundtrip(scheme):
+    mapping = make_mapping(scheme, ROWS)
+    for logical in range(ROWS):
+        assert mapping.to_logical(mapping.to_physical(logical)) == logical
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(AddressError):
+        make_mapping("nope", ROWS)
+
+
+def test_sequential_is_identity():
+    mapping = SequentialMapping(ROWS)
+    assert all(mapping.to_physical(r) == r for r in range(ROWS))
+
+
+class TestMirroredPair:
+    def test_is_involution(self):
+        mapping = MirroredPairMapping(ROWS)
+        for row in range(ROWS):
+            assert mapping.to_physical(mapping.to_physical(row)) == row
+
+    def test_swaps_middle_pair(self):
+        mapping = MirroredPairMapping(ROWS)
+        assert mapping.to_physical(0) == 0
+        assert mapping.to_physical(1) == 2
+        assert mapping.to_physical(2) == 1
+        assert mapping.to_physical(3) == 3
+
+    def test_breaks_logical_adjacency(self):
+        mapping = MirroredPairMapping(ROWS)
+        physical = [mapping.to_physical(r) for r in range(8)]
+        gaps = [abs(a - b) for a, b in zip(physical, physical[1:])]
+        assert any(g != 1 for g in gaps)
+
+
+class TestBitInvertedHalf:
+    def test_lower_half_straight(self):
+        mapping = BitInvertedHalfMapping(ROWS, block_bits=3)
+        for row in (0, 1, 2, 3, 8, 9):
+            assert mapping.to_physical(row) == row
+
+    def test_upper_half_reversed(self):
+        mapping = BitInvertedHalfMapping(ROWS, block_bits=3)
+        assert mapping.to_physical(4) == 7
+        assert mapping.to_physical(7) == 4
+
+    def test_invalid_block_bits(self):
+        with pytest.raises(AddressError):
+            BitInvertedHalfMapping(ROWS, block_bits=0)
+
+
+@given(st.integers(min_value=0, max_value=ROWS - 1))
+def test_mirrored_pair_stays_in_4_row_group(logical):
+    mapping = MirroredPairMapping(ROWS)
+    assert mapping.to_physical(logical) // 4 == logical // 4
+
+
+@given(
+    st.sampled_from(["sequential", "mirrored-pair", "bit-inverted-half"]),
+    st.integers(min_value=0, max_value=ROWS - 1),
+)
+def test_roundtrip_property(scheme, logical):
+    mapping = make_mapping(scheme, ROWS)
+    assert mapping.to_logical(mapping.to_physical(logical)) == logical

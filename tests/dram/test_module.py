@@ -1,0 +1,50 @@
+"""Module assembly: translation, temperature, TRR attachment."""
+
+import numpy as np
+import pytest
+
+from repro.dram import make_module
+from repro.dram.errors import AddressError
+from repro.trr import SamplingTrr
+
+
+class TestTranslation:
+    def test_mapping_applied_on_module_io(self, hynix_module):
+        data = np.full(hynix_module.geometry.row_bytes, 0x42, np.uint8)
+        hynix_module.write_row(0, 9, data)
+        physical = hynix_module.to_physical(9)
+        assert (hynix_module.banks[0].backdoor_read(physical) == 0x42).all()
+
+    def test_roundtrip(self, hynix_module):
+        for logical in range(0, 60, 7):
+            physical = hynix_module.to_physical(logical)
+            assert hynix_module.to_logical(physical) == logical
+
+    def test_hynix_uses_mirrored_mapping(self, hynix_module):
+        assert hynix_module.to_physical(1) == 2
+
+    def test_bank_bounds(self, hynix_module):
+        with pytest.raises(AddressError):
+            hynix_module.bank(99)
+
+
+class TestEnvironment:
+    def test_temperature_propagates(self, hynix_module):
+        hynix_module.set_temperature(65.0)
+        assert all(b.temperature_c == 65.0 for b in hynix_module.banks)
+
+    def test_trr_attach_detach(self, hynix_module):
+        trr = SamplingTrr()
+        hynix_module.attach_trr(trr)
+        assert all(b.trr is trr for b in hynix_module.banks)
+        hynix_module.attach_trr(None)
+        assert all(b.trr is None for b in hynix_module.banks)
+
+
+class TestIdentity:
+    def test_label(self, hynix_module):
+        assert hynix_module.label == "hynix-a-8gb#0"
+
+    def test_simra_support_by_vendor(self, hynix_module, samsung_module):
+        assert hynix_module.supports_simra
+        assert not samsung_module.supports_simra

@@ -1,0 +1,83 @@
+"""Module geometry, subarray math, region binning."""
+
+import pytest
+
+from repro.dram.errors import AddressError
+from repro.dram.organization import (
+    ModuleGeometry,
+    REGION_ORDER,
+    SubarrayRegion,
+    region_of,
+)
+
+
+@pytest.fixture()
+def geometry():
+    return ModuleGeometry(banks=2, subarrays_per_bank=3, rows_per_subarray=96,
+                          columns=1024)
+
+
+class TestRegionBinning:
+    def test_five_equal_bins(self):
+        assert region_of(0, 500) is SubarrayRegion.BEGINNING
+        assert region_of(99, 500) is SubarrayRegion.BEGINNING
+        assert region_of(100, 500) is SubarrayRegion.BEGINNING_MIDDLE
+        assert region_of(250, 500) is SubarrayRegion.MIDDLE
+        assert region_of(399, 500) is SubarrayRegion.MIDDLE_END
+        assert region_of(499, 500) is SubarrayRegion.END
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            region_of(500, 500)
+        with pytest.raises(AddressError):
+            region_of(-1, 500)
+
+    def test_all_regions_reachable(self, geometry):
+        regions = {geometry.region_of_row(r) for r in range(96)}
+        assert regions == set(REGION_ORDER)
+
+
+class TestGeometry:
+    def test_row_accounting(self, geometry):
+        assert geometry.rows_per_bank == 288
+        assert geometry.row_bytes == 128
+
+    def test_subarray_of(self, geometry):
+        assert geometry.subarray_of(0) == 0
+        assert geometry.subarray_of(95) == 0
+        assert geometry.subarray_of(96) == 1
+        assert geometry.subarray_of(287) == 2
+
+    def test_same_subarray(self, geometry):
+        assert geometry.same_subarray(0, 95)
+        assert not geometry.same_subarray(95, 96)
+
+    def test_neighbors_respect_subarray_isolation(self, geometry):
+        # last row of subarray 0: only the lower neighbor qualifies
+        assert geometry.neighbors(95, 1) == (94,)
+        assert geometry.neighbors(96, 1) == (97,)
+        assert geometry.neighbors(50, 1) == (49, 51)
+        assert geometry.neighbors(50, 2) == (48, 52)
+
+    def test_neighbors_at_bank_edges(self, geometry):
+        assert geometry.neighbors(0, 1) == (1,)
+        assert geometry.neighbors(287, 1) == (286,)
+
+    def test_subarray_rows(self, geometry):
+        assert list(geometry.subarray_rows(1)) == list(range(96, 192))
+        with pytest.raises(AddressError):
+            geometry.subarray_rows(3)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(AddressError):
+            ModuleGeometry(banks=0)
+        with pytest.raises(AddressError):
+            ModuleGeometry(rows_per_subarray=5)
+        with pytest.raises(AddressError):
+            ModuleGeometry(columns=100)
+
+    def test_check_row_bounds(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.check_row(288)
+        with pytest.raises(AddressError):
+            geometry.check_bank(2)

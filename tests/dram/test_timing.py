@@ -1,0 +1,63 @@
+"""Timing parameters, violation classification, Bender quantization."""
+
+import pytest
+
+from repro.dram.timing import (
+    BENDER_CYCLE_NS,
+    DDR4_2400,
+    DDR5_4800,
+    TimingParams,
+    quantize_to_bender_cycles,
+)
+
+
+class TestTimingParams:
+    def test_trc_is_tras_plus_trp(self):
+        assert DDR4_2400.tRC == DDR4_2400.tRAS + DDR4_2400.tRP
+
+    def test_ddr5_has_smaller_refresh_window(self):
+        assert DDR5_4800.tREFW < DDR4_2400.tREFW
+        assert DDR5_4800.tREFI < DDR4_2400.tREFI
+
+    def test_with_overrides_returns_new_instance(self):
+        custom = DDR4_2400.with_overrides(tRP=10.0)
+        assert custom.tRP == 10.0
+        assert DDR4_2400.tRP == 13.5
+
+    def test_violates_trp(self):
+        assert DDR4_2400.violates_trp(7.5)
+        assert not DDR4_2400.violates_trp(13.5)
+
+    def test_violates_tras(self):
+        assert DDR4_2400.violates_tras(3.0)
+        assert not DDR4_2400.violates_tras(36.0)
+
+
+class TestWindows:
+    def test_comra_window_below_trp(self):
+        assert DDR4_2400.is_comra_window(7.5)
+        assert DDR4_2400.is_comra_window(12.0)
+        assert not DDR4_2400.is_comra_window(13.5)
+        assert not DDR4_2400.is_comra_window(0.0)
+
+    def test_simra_window_needs_both_delays_tiny(self):
+        assert DDR4_2400.is_simra_window(3.0, 3.0)
+        assert DDR4_2400.is_simra_window(1.5, 4.5)
+        assert not DDR4_2400.is_simra_window(36.0, 3.0)
+        assert not DDR4_2400.is_simra_window(3.0, 7.5)
+
+
+class TestQuantization:
+    def test_exact_multiples_unchanged(self):
+        assert quantize_to_bender_cycles(7.5) == 7.5
+
+    def test_rounds_to_nearest_cycle(self):
+        assert quantize_to_bender_cycles(7.0) == 7.5
+        assert quantize_to_bender_cycles(0.6) == 0.0 or quantize_to_bender_cycles(0.6) == 1.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_to_bender_cycles(-1.0)
+
+    def test_cycle_constant(self):
+        assert BENDER_CYCLE_NS == 1.5

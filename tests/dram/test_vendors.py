@@ -1,0 +1,55 @@
+"""Population construction from Table 1/2."""
+
+import pytest
+
+from repro.disturbance import MODULE_CALIBRATIONS, Vendor
+from repro.dram import build_population, make_module, scaled_geometry, simra_capable_modules
+from repro.dram.vendors import paper_geometry
+
+
+def test_default_population_one_per_config():
+    modules = build_population()
+    assert len(modules) == len(MODULE_CALIBRATIONS)
+
+
+def test_vendor_filter():
+    modules = build_population(vendors=[Vendor.NANYA])
+    assert len(modules) == 1
+    assert modules[0].vendor is Vendor.NANYA
+
+
+def test_config_filter():
+    modules = build_population(config_ids=["hynix-a-8gb"])
+    assert [m.config_id for m in modules] == ["hynix-a-8gb"]
+
+
+def test_modules_per_config_capped_by_real_count():
+    modules = build_population(config_ids=["samsung-a-16gb"], modules_per_config=5)
+    assert len(modules) == 1  # only one real module of that config exists
+
+
+def test_serials_give_distinct_chips():
+    a = make_module("hynix-a-8gb", serial=0)
+    b = make_module("hynix-a-8gb", serial=1)
+    pa = a.model.profile(0, 50).hc_ref
+    pb = b.model.profile(0, 50).hc_ref
+    assert pa != pb
+
+
+def test_simra_capable_filter():
+    modules = build_population()
+    capable = simra_capable_modules(modules)
+    assert capable
+    assert all(m.vendor is Vendor.SK_HYNIX for m in capable)
+
+
+def test_scaled_geometry_requires_32_multiple():
+    calibration = MODULE_CALIBRATIONS[0]
+    with pytest.raises(ValueError):
+        scaled_geometry(calibration, rows_per_subarray=50)
+
+
+def test_paper_geometry_uses_reverse_engineered_size():
+    calibration = next(c for c in MODULE_CALIBRATIONS if c.subarray_size == 1024)
+    geometry = paper_geometry(calibration)
+    assert geometry.rows_per_subarray == 1024

@@ -1,0 +1,68 @@
+"""§4 experiment shape checks at small scale (figs 5-11)."""
+
+import pytest
+
+from repro import ExperimentScale, run_experiment
+
+SMALL = ExperimentScale.small()
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig05", SMALL)
+
+    def test_four_patterns_per_vendor(self, result):
+        hynix = [r for r in result.rows if r["vendor"] == "SK Hynix"]
+        assert len(hynix) == 4
+
+    def test_checkerboard_usually_best(self, result):
+        flags = [v for k, v in result.checks.items()
+                 if k.startswith("best_pattern_is_checker")]
+        assert sum(flags) >= len(flags) - 1
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig06", SMALL)
+
+    def test_hynix_hotter_is_worse(self, result):
+        assert result.checks["hc_ratio_50C_over_80C_SK Hynix"] > 1.15
+
+    def test_micron_inverts(self, result):
+        assert result.checks["hc_ratio_50C_over_80C_Micron"] < 1.0
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig07", SMALL)
+
+    def test_ss_comra_beats_ss_rowhammer(self, result):
+        assert result.checks["ss_comra_vs_ss_rh_SK Hynix"] > 1.05
+
+    def test_ss_comra_tracks_far_ds(self, result):
+        assert 0.8 <= result.checks["ss_comra_vs_far_ds_SK Hynix"] <= 1.25
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig09", SMALL)
+
+    def test_latency_weakens_comra_everywhere(self, result):
+        for vendor in ("SK Hynix", "Micron", "Samsung", "Nanya"):
+            assert result.checks[f"hc_increase_7p5_to_12_{vendor}"] > 1.0
+
+    def test_hynix_decays_faster_than_micron(self, result):
+        assert (
+            result.checks["hc_increase_7p5_to_12_SK Hynix"]
+            > result.checks["hc_increase_7p5_to_12_Micron"]
+        )
+
+
+class TestFig10:
+    def test_direction_mostly_symmetric(self):
+        result = run_experiment("fig10", SMALL)
+        assert result.checks["median_abs_change_pct_double"] < 15.0

@@ -1,0 +1,52 @@
+"""§5 experiment shape checks at small scale (figs 14-19)."""
+
+import pytest
+
+from repro import ExperimentScale, run_experiment
+
+SMALL = ExperimentScale.small()
+
+
+class TestFig14:
+    def test_victim_polarity_penalty(self):
+        result = run_experiment("fig14", SMALL)
+        penalties = [v for k, v in result.checks.items()
+                     if k.startswith("victim00_penalty")]
+        assert penalties and all(p > 3.0 for p in penalties)
+
+
+class TestFig15:
+    def test_temperature_strengthens_simra(self):
+        result = run_experiment("fig15", SMALL)
+        ratios = [v for k, v in result.checks.items()
+                  if k.startswith("hc_ratio_50C")]
+        assert ratios and all(1.8 <= r <= 5.0 for r in ratios)
+
+
+class TestFig16:
+    def test_more_rows_stronger(self):
+        result = run_experiment("fig16", SMALL)
+        assert result.checks["ss_simra_32_vs_2_mean"] > 1.1
+        assert result.checks["mean_decreases_with_n"] == 1.0
+
+
+class TestFig17:
+    def test_pressing_simra_gains(self):
+        result = run_experiment("fig17", SMALL)
+        gains = [v for k, v in result.checks.items() if k.startswith("press_gain")]
+        assert gains and all(g > 40 for g in gains)
+
+
+class TestFig18:
+    def test_timing_effects(self):
+        result = run_experiment("fig18", SMALL)
+        assert result.checks["preact_gain_1p5_to_4p5"] > 1.0
+        assert result.checks["partial_activation_penalty"] > 1.2
+
+
+class TestFig19:
+    def test_spatial_spans_exist(self):
+        result = run_experiment("fig19", SMALL)
+        spans = [v for k, v in result.checks.items()
+                 if k.startswith("spatial_span")]
+        assert spans and max(spans) > 1.05

@@ -1,0 +1,87 @@
+"""End-to-end experiment runs at the smallest meaningful scale.
+
+These assert the paper's *shape* claims (who wins, rough factors); the
+benchmark harness repeats them at larger scale with tighter bands.
+"""
+
+import pytest
+
+from repro import ExperimentScale, run_experiment
+
+SMALL = ExperimentScale.small()
+
+
+@pytest.fixture(scope="module")
+def fig04():
+    return run_experiment("fig04", SMALL)
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return run_experiment("fig13", SMALL)
+
+
+class TestTable1:
+    def test_population_totals(self):
+        result = run_experiment("table1")
+        assert result.checks["total_chips"] == 316
+        assert result.checks["total_modules"] == 40
+
+
+class TestFig04:
+    def test_comra_stronger_everywhere(self, fig04):
+        for row in fig04.rows:
+            assert row["min_reduction_x"] > 1.0
+
+    def test_hynix_headline_reduction(self, fig04):
+        assert fig04.checks["min_reduction_SK Hynix"] == pytest.approx(13.98, rel=0.15)
+
+    def test_most_rows_improve(self, fig04):
+        assert fig04.checks["fraction_improved"] >= 0.85
+
+
+class TestFig13:
+    def test_lowest_simra_hits_26(self, fig13):
+        assert fig13.checks["lowest_simra_hc"] == pytest.approx(26, abs=4)
+
+    def test_massive_reduction_vs_rowhammer(self, fig13):
+        assert fig13.checks["min_reduction_vs_rowhammer"] > 100
+
+    def test_all_tested_rows_improve(self, fig13):
+        for count in (2, 4, 8, 16):
+            assert fig13.checks[f"fraction_improved_n{count}"] >= 0.8
+
+
+class TestFig21Combined:
+    def test_reduction_grows_with_prehammer(self):
+        result = run_experiment("fig21", SMALL)
+        r10 = result.checks.get("mean_reduction_at_10pct")
+        r90 = result.checks.get("mean_reduction_at_90pct")
+        assert r10 is not None and r90 is not None
+        assert r90 > r10 >= 0.99
+        assert 1.1 < r90 < 1.8  # paper: 1.34x
+
+
+class TestFig25Tiny:
+    def test_wc_beats_naive(self):
+        result = run_experiment(
+            "fig25", mix_count=2, periods_ns=(1000.0, 8000.0)
+        )
+        wc = result.checks["avg_overhead_PRAC-PO-WC"]
+        naive = result.checks["avg_overhead_PRAC-PO-Naive"]
+        assert naive > wc > 0
+        assert result.checks["wc_beats_naive_fraction"] == 1.0
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        from repro.experiments import EXPERIMENTS
+        expected = {"table1", "table2"} | {
+            f"fig{n:02d}" for n in (4, 5, 6, 7, 8, 9, 10, 11, 13, 14, 15,
+                                    16, 17, 18, 19, 21, 22, 23, 24, 25)
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

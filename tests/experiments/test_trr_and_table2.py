@@ -1,0 +1,39 @@
+"""§7 bypass and Table 2 reproduction at small scale."""
+
+import pytest
+
+from repro import ExperimentScale, run_experiment
+
+SMALL = ExperimentScale.small()
+
+
+class TestFig24:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig24", SMALL)
+
+    def test_trr_nearly_eliminates_rowhammer(self, result):
+        assert result.checks["rowhammer_trr_reduction_pct"] >= 90.0
+
+    def test_trr_barely_dents_simra(self, result):
+        assert result.checks["simra_trr_reduction_pct"] <= 60.0
+
+    def test_simra_dominates_under_trr(self, result):
+        assert result.checks["simra_vs_rowhammer_with_trr"] > 20.0
+
+    def test_all_techniques_reported_both_ways(self, result):
+        assert len(result.rows) == 16  # 8 techniques x {off, on}
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table2", SMALL)
+
+    def test_headline_minima_reproduced(self, result):
+        assert result.checks["rh_min_ratio_hynix-a-8gb"] == pytest.approx(1.0, rel=0.05)
+        assert result.checks["comra_min_ratio_hynix-a-8gb"] == pytest.approx(1.0, rel=0.05)
+        assert result.checks["simra_min_ratio_hynix-a-8gb"] == pytest.approx(1.0, rel=0.35)
+
+    def test_all_configs_measured(self, result):
+        assert len(result.rows) == 14

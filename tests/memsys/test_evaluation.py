@@ -1,0 +1,41 @@
+"""Fig25 evaluation driver."""
+
+import pytest
+
+from repro.memsys import Fig25Evaluation, MemSysConfig, average_overhead, overhead_by_period
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    evaluation = Fig25Evaluation(
+        mix_count=2,
+        periods_ns=(1000.0, 8000.0),
+        config=MemSysConfig(horizon_ns=80_000.0),
+    )
+    return evaluation.evaluate()
+
+
+class TestEvaluation:
+    def test_all_points_present(self, outcomes):
+        assert len(outcomes) == 2 * 2 * 2  # mixes x periods x mitigations
+
+    def test_overhead_positive(self, outcomes):
+        for mitigation in ("PRAC-PO-Naive", "PRAC-PO-WC"):
+            assert average_overhead(outcomes, mitigation) > 0
+
+    def test_naive_worse_on_average(self, outcomes):
+        assert average_overhead(outcomes, "PRAC-PO-Naive") > average_overhead(
+            outcomes, "PRAC-PO-WC"
+        )
+
+    def test_series_keys_are_periods(self, outcomes):
+        series = overhead_by_period(outcomes, "PRAC-PO-WC")
+        assert set(series) == {1000.0, 8000.0}
+
+    def test_unknown_mitigation_rejected(self, outcomes):
+        with pytest.raises(ValueError):
+            average_overhead(outcomes, "nope")
+
+    def test_normalized_performance_bounds(self, outcomes):
+        for outcome in outcomes:
+            assert 0.0 <= outcome.normalized_performance <= 1.2

@@ -1,0 +1,82 @@
+"""§8.1 countermeasure policies."""
+
+import pytest
+
+from repro.dram.errors import AddressError
+from repro.mitigations import (
+    ClusteredActivationDecoder,
+    ComputeRegionPolicy,
+    WeightedContributionPolicy,
+)
+
+
+class TestComputeRegion:
+    def test_simra_confined(self):
+        policy = ComputeRegionPolicy(subarray_rows=1024, compute_rows=32)
+        policy.check_simra(list(policy.compute_region)[:8])
+        with pytest.raises(AddressError):
+            policy.check_simra([0, 1])
+
+    def test_comra_allows_one_storage_operand(self):
+        policy = ComputeRegionPolicy(subarray_rows=1024, compute_rows=32)
+        compute_row = policy.compute_region[0]
+        policy.check_comra(5, compute_row)
+        policy.check_comra(compute_row, 5)
+        with pytest.raises(AddressError):
+            policy.check_comra(5, 6)
+
+    def test_periodic_compute_refresh(self):
+        policy = ComputeRegionPolicy(refresh_interval_ops=20, compute_rows=32)
+        refreshed = []
+        for _ in range(64):
+            refreshed.extend(policy.note_simra_op())
+        assert len(refreshed) == 64  # one per op at this interval/row ratio
+        assert set(refreshed) <= set(policy.compute_region)
+
+    def test_overhead_fraction_bounded(self):
+        policy = ComputeRegionPolicy()
+        assert 0 < policy.refresh_overhead_fraction() < 1
+
+    def test_storage_rdt_scale_close_to_one(self):
+        assert 0.95 <= ComputeRegionPolicy().storage_region_rdt_scale() < 1.0
+
+    def test_invalid_region(self):
+        with pytest.raises(AddressError):
+            ComputeRegionPolicy(subarray_rows=32, compute_rows=32)
+
+
+class TestWeightedContribution:
+    def test_paper_weights(self):
+        policy = WeightedContributionPolicy()
+        assert policy.simra_weight == 204 or policy.simra_weight == 4096 // 20
+        assert policy.comra_weight == 4096 // 400
+
+    def test_equivalent_hammers(self):
+        policy = WeightedContributionPolicy(hc_rowhammer=4000, hc_comra=400,
+                                            hc_simra=20)
+        assert policy.equivalent_hammers(acts=100, comra_ops=10, simra_ops=1) == (
+            100 + 10 * 10 + 200
+        )
+
+    def test_security_check(self):
+        policy = WeightedContributionPolicy()
+        assert policy.is_secure_against({"rowhammer": 4123, "comra": 447, "simra": 26})
+        assert not policy.is_secure_against({"simra": 10})
+
+
+class TestClusteredDecoder:
+    def test_groups_contiguous(self):
+        decoder = ClusteredActivationDecoder()
+        group = decoder.group_for(70, 8)
+        assert group == tuple(range(64, 72))
+
+    def test_eliminates_double_sided_simra(self):
+        assert ClusteredActivationDecoder().eliminates_double_sided_simra()
+
+    def test_sandwich_detector(self):
+        assert ClusteredActivationDecoder.sandwiched_victims((0, 2, 4)) == (1, 3)
+        assert ClusteredActivationDecoder.sandwiched_victims((0, 1, 2)) == ()
+
+    def test_unsupported_size(self):
+        with pytest.raises(AddressError):
+            ClusteredActivationDecoder().group_for(0, 3)

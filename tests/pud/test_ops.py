@@ -1,0 +1,96 @@
+"""PuD functional operations: copy, bitwise, fractional rows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram import make_module
+from repro.dram.errors import AddressError, UnsupportedOperationError
+from repro.pud import PudEngine, reference_majority
+
+bits_strategy = st.lists(st.integers(min_value=0, max_value=1),
+                         min_size=64, max_size=64)
+
+
+@pytest.fixture()
+def engine(hynix_module):
+    return PudEngine(hynix_module)
+
+
+class TestRowClone:
+    def test_copy_within_subarray(self, engine):
+        data = np.arange(engine.module.geometry.row_bytes, dtype=np.uint8)
+        engine.write(10, data)
+        engine.copy(10, 20)
+        assert np.array_equal(engine.read(20), data)
+
+    def test_cross_subarray_rejected(self, engine):
+        with pytest.raises(AddressError):
+            engine.copy(10, 100)
+
+    def test_unchecked_cross_subarray_fails_silently(self, engine):
+        data = np.full(engine.module.geometry.row_bytes, 0x5A, np.uint8)
+        engine.write(10, data)
+        engine.write(100, np.zeros_like(data))
+        engine.copy(10, 100, check_subarray=False)
+        assert (engine.read(100) == 0).all()
+
+
+class TestBitwise:
+    @given(bits_strategy, bits_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_and_or_property(self, a_bits, b_bits):
+        module = make_module("hynix-a-8gb", columns=64)
+        engine = PudEngine(module)
+        a = np.array(a_bits, np.uint8)
+        b = np.array(b_bits, np.uint8)
+        engine.write_bits(3, a)
+        engine.write_bits(5, b)
+        assert np.array_equal(np.unpackbits(engine.and_(3, 5)), a & b)
+        engine.write_bits(3, a)
+        engine.write_bits(5, b)
+        assert np.array_equal(np.unpackbits(engine.or_(3, 5)), a | b)
+
+    def test_maj3(self, engine):
+        rng = np.random.default_rng(3)
+        cols = engine.module.geometry.columns
+        rows_bits = [rng.integers(0, 2, cols, dtype=np.uint8) for _ in range(3)]
+        for row, bits in zip((3, 5, 7), rows_bits):
+            engine.write_bits(row, bits)
+        out = np.unpackbits(engine.majority([3, 5, 7]))
+        assert np.array_equal(out, reference_majority(rows_bits))
+
+    def test_maj_needs_odd_operands(self, engine):
+        with pytest.raises(AddressError):
+            engine.majority([3, 5])
+
+    def test_unsupported_vendor(self, samsung_module):
+        engine = PudEngine(samsung_module)
+        with pytest.raises(UnsupportedOperationError):
+            engine.simultaneous_activate(0, 6)
+
+
+class TestMultiCopy:
+    def test_copies_to_group(self, engine):
+        data = np.full(engine.module.geometry.row_bytes, 0x6B, np.uint8)
+        engine.write(32, data)
+        destinations = engine.multi_copy(32, 15)
+        assert len(destinations) == 15
+        for dst in destinations:
+            assert np.array_equal(engine.read(dst), data)
+
+    def test_invalid_count_rejected(self, engine):
+        with pytest.raises(AddressError):
+            engine.multi_copy(32, 4)
+
+
+class TestFractional:
+    def test_frac_row_marked(self, engine):
+        engine.write_fractional(12)
+        assert 12 in engine.module.banks[0]._frac
+
+    def test_lone_activation_randomizes(self, engine):
+        engine.write_fractional(12)
+        data = engine.read(12)
+        ones = np.unpackbits(data).mean()
+        assert 0.3 < ones < 0.7

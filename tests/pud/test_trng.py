@@ -1,0 +1,47 @@
+"""QUAC-TRNG entropy quality."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import monobit_pvalue, passes_basic_randomness, runs_pvalue
+from repro.dram import make_module
+from repro.dram.errors import UnsupportedOperationError
+from repro.pud import QuacTrng
+
+
+class TestQuacTrng:
+    def test_generates_requested_length(self, hynix_module):
+        trng = QuacTrng(hynix_module, block_base=64)
+        assert len(trng.generate(100)) == 100
+
+    def test_output_passes_basic_randomness(self, hynix_module):
+        trng = QuacTrng(hynix_module, block_base=64)
+        data = trng.generate(1024)
+        assert passes_basic_randomness(data)
+
+    def test_outputs_differ_between_calls(self, hynix_module):
+        trng = QuacTrng(hynix_module, block_base=64)
+        assert trng.generate(64) != trng.generate(64)
+
+    def test_unsupported_vendor(self, samsung_module):
+        with pytest.raises(UnsupportedOperationError):
+            QuacTrng(samsung_module)
+
+    def test_throughput_metric(self, hynix_module):
+        trng = QuacTrng(hynix_module, block_base=64)
+        assert trng.throughput_bits_per_op() == hynix_module.geometry.columns
+
+
+class TestRandomnessTests:
+    def test_monobit_detects_bias(self):
+        biased = np.ones(1000, dtype=np.uint8)
+        assert monobit_pvalue(biased) < 0.01
+
+    def test_runs_detects_structure(self):
+        alternating = np.tile([0, 1], 500).astype(np.uint8)
+        assert runs_pvalue(alternating) < 0.01
+
+    def test_good_prng_passes(self):
+        bits = np.random.default_rng(0).integers(0, 2, 4096).astype(np.uint8)
+        assert monobit_pvalue(bits) >= 0.01
+        assert runs_pvalue(bits) >= 0.01

@@ -1,0 +1,37 @@
+"""Row-mapping recovery through hammering."""
+
+from repro.dram import make_module
+from repro.reveng import (
+    infer_physical_neighbors,
+    recover_physical_order,
+    verify_mapping_hypothesis,
+)
+
+
+def test_inferred_neighbors_match_mapping(hynix_module):
+    logical = 9
+    candidates = list(range(1, 18))
+    observed = infer_physical_neighbors(hynix_module, logical, candidates)
+    physical = hynix_module.to_physical(logical)
+    expected = sorted(
+        hynix_module.to_logical(n)
+        for n in hynix_module.geometry.neighbors(physical, 1)
+    )
+    assert observed == expected
+
+
+def test_recover_order_chains_adjacency():
+    module = make_module("hynix-a-8gb")
+    rows = list(range(4, 16))
+    order = recover_physical_order(module, rows)
+    assert order is not None
+    physical = [module.to_physical(r) for r in order]
+    deltas = [b - a for a, b in zip(physical, physical[1:])]
+    assert all(d == deltas[0] for d in deltas)  # monotone physical walk
+    assert abs(deltas[0]) == 1
+
+
+def test_verify_mapping_hypothesis_high_accuracy():
+    module = make_module("samsung-b-16gb")
+    accuracy = verify_mapping_hypothesis(module, list(range(5, 25, 3)))
+    assert accuracy >= 0.8

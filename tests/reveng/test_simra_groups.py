@@ -1,0 +1,25 @@
+"""SiMRA group discovery via WR override."""
+
+import pytest
+
+from repro.dram import make_module
+from repro.reveng import discover_group, discover_supported_counts, group_against_decoder
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("row_b,expected_n", [(65, 2), (70, 4), (78, 8), (95, 32)])
+    def test_group_sizes(self, hynix_module, row_b, expected_n):
+        group = discover_group(hynix_module, 64, row_b)
+        assert len(group) == expected_n
+        assert group == group_against_decoder(hynix_module, 64, row_b)
+
+    def test_supported_counts_hynix(self, hynix_module):
+        assert discover_supported_counts(hynix_module, 64) == [2, 4, 8, 16, 32]
+
+    def test_non_hynix_sees_no_simra(self, samsung_module):
+        group = discover_group(samsung_module, 64, 70)
+        assert len(group) <= 1
+
+    def test_cross_block_pair_degenerates(self, hynix_module):
+        group = discover_group(hynix_module, 30, 34)
+        assert len(group) <= 1

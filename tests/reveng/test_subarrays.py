@@ -1,0 +1,23 @@
+"""Subarray boundary discovery."""
+
+from repro.dram import make_module
+from repro.reveng import boundary_scan, discovered_subarrays, exhaustive_map
+
+
+def test_boundaries_match_geometry():
+    module = make_module("hynix-a-8gb", subarrays_per_bank=3, rows_per_subarray=32)
+    assert boundary_scan(module) == [0, 32, 64]
+
+
+def test_discovered_ranges():
+    module = make_module("samsung-b-16gb", subarrays_per_bank=2, rows_per_subarray=32)
+    assert discovered_subarrays(module) == [range(0, 32), range(32, 64)]
+
+
+def test_exhaustive_map_partitions():
+    module = make_module("micron-f-16gb", subarrays_per_bank=2, rows_per_subarray=32)
+    rows = [0, 5, 31, 32, 40, 63]
+    mapping = exhaustive_map(module, rows)
+    assert mapping[0] == {5, 31}
+    assert mapping[32] == {40, 63}
+    assert 32 not in mapping[5]

@@ -1,0 +1,50 @@
+"""U-TRR style probing."""
+
+import pytest
+
+from repro.dram import make_module
+from repro.reveng import RetentionProfiler, TrrProber
+from repro.trr import SamplingTrr
+
+
+@pytest.fixture(scope="module")
+def canary():
+    module = make_module("hynix-a-8gb")
+    profiler = RetentionProfiler(module)
+    canaries = profiler.find_canaries(range(3, 190, 5), limit=1)
+    assert canaries, "no retention-weak row found in the scan range"
+    row, retention = next(iter(canaries.items()))
+    return row, retention
+
+
+class TestRetentionProfiler:
+    def test_measured_retention_brackets_truth(self, canary):
+        module = make_module("hynix-a-8gb")
+        row, measured = canary
+        truth = module.retention.retention_ns(0, row)
+        assert measured == pytest.approx(truth, rel=0.5)
+
+    def test_strong_rows_report_none(self):
+        module = make_module("hynix-a-8gb")
+        profiler = RetentionProfiler(module)
+        rows = range(3, 120)
+        strong = max(rows, key=lambda r: module.retention.retention_ns(0, r))
+        probe_ceiling = module.retention.retention_ns(0, strong) * 0.4
+        assert profiler.measure_retention(strong, high_ns=probe_ceiling) is None
+
+
+class TestTrrProber:
+    def test_detects_attached_trr(self, canary):
+        module = make_module("hynix-a-8gb")
+        module.attach_trr(SamplingTrr(seed=3))
+        prober = TrrProber(module)
+        findings = prober.detect({canary[0]: canary[1]})
+        assert findings.trr_detected
+        assert findings.capable_ref_period is not None
+        assert findings.capable_ref_period <= 8
+
+    def test_no_trr_not_detected(self, canary):
+        module = make_module("hynix-a-8gb")
+        prober = TrrProber(module)
+        findings = prober.detect({canary[0]: canary[1]})
+        assert not findings.trr_detected

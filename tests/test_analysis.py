@@ -1,0 +1,14 @@
+"""Analysis helpers: report generation."""
+
+from repro import ExperimentScale
+from repro.analysis import generate_report
+
+
+def test_report_renders_markdown():
+    report = generate_report(
+        scale=ExperimentScale.small(), experiment_ids=["table1"]
+    )
+    assert report.startswith("# PuDHammer reproduction report")
+    assert "## table1" in report
+    assert "| vendor |" in report
+    assert "total_chips" in report

@@ -1,0 +1,33 @@
+"""CLI entry point."""
+
+import io
+import contextlib
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig04" in out and "fig25" in out and "table2" in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "Tested DDR4 chip population" in out
+    assert "total_chips" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_report_single_experiment(capsys):
+    assert main(["report", "table1", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# PuDHammer reproduction report")
+    assert "## table1" in out

@@ -1,0 +1,65 @@
+"""Sampling-based TRR model."""
+
+import pytest
+
+from repro.trr import SamplingTrr
+
+
+class TestSampler:
+    def test_capable_fraction_matches_period(self):
+        trr = SamplingTrr(window=450, capable_ref_period=4, seed=0)
+        refreshing = 0
+        trials = 2000
+        for i in range(trials):
+            trr.on_act(0, 10, i * 7800.0)  # keep the sampler fed
+            if trr.on_ref(0, i * 7800.0):
+                refreshing += 1
+        assert refreshing / trials == pytest.approx(0.25, abs=0.05)
+
+    def test_no_fixed_phase(self):
+        trr = SamplingTrr(window=450, capable_ref_period=4, seed=0)
+        gaps = []
+        last = None
+        for i in range(400):
+            trr.on_act(0, 10, i * 7800.0)
+            if trr.on_ref(0, i * 7800.0):
+                if last is not None:
+                    gaps.append(i - last)
+                last = i
+        assert len(set(gaps)) > 2  # not strictly periodic
+
+    def test_sampled_row_comes_from_buffer(self):
+        trr = SamplingTrr(capable_ref_period=1, seed=0)
+        for i in range(100):
+            trr.on_act(0, 42, float(i))
+        assert trr.on_ref(0, 1000.0) == [42]  # period 1 = always capable
+
+    def test_window_eviction(self):
+        trr = SamplingTrr(window=450, capable_ref_period=1, seed=0)
+        trr.on_act(0, 7, 0.0)
+        for i in range(450):  # flood evicts row 7
+            trr.on_act(0, 99, float(i + 1))
+        assert trr.on_ref(0, 5000.0) == [99]
+
+    def test_buffers_per_bank(self):
+        trr = SamplingTrr(capable_ref_period=1, seed=0)
+        trr.on_act(0, 7, 0.0)
+        trr.on_act(1, 9, 0.0)
+        assert trr.on_ref(0, 100.0) == [7]
+        assert trr.on_ref(1, 100.0) == [9]
+
+    def test_empty_buffer_no_refresh(self):
+        trr = SamplingTrr(capable_ref_period=1, seed=0)
+        assert trr.on_ref(0, 0.0) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SamplingTrr(window=0)
+        with pytest.raises(ValueError):
+            SamplingTrr(capable_ref_period=0)
+
+    def test_buffer_cleared_after_sampling(self):
+        trr = SamplingTrr(capable_ref_period=1, seed=0)
+        trr.on_act(0, 7, 0.0)
+        trr.on_ref(0, 100.0)
+        assert trr.on_ref(0, 200.0) == []

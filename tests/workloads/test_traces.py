@@ -1,0 +1,89 @@
+"""Trace generation statistics and mixes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import PUD_PERIODS_NS, TraceGenerator, build_mixes
+from repro.workloads.profiles import ALL_SUITES, WorkloadProfile, all_profiles, profile_by_name
+
+
+class TestProfiles:
+    def test_five_suites(self):
+        assert len(ALL_SUITES) == 5
+
+    def test_lookup(self):
+        assert profile_by_name("mcf-like").suite == "spec2006"
+        with pytest.raises(KeyError):
+            profile_by_name("nothing")
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", "x", mpki=-1, row_locality=0.5, bank_spread=2)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", "x", mpki=1, row_locality=1.5, bank_spread=2)
+
+
+class TestTraces:
+    def test_deterministic(self):
+        profile = profile_by_name("mcf-like")
+        a = [next(TraceGenerator(profile, seed=1)) for _ in range(1)]
+        gen1 = TraceGenerator(profile, seed=1)
+        gen2 = TraceGenerator(profile, seed=1)
+        assert [next(gen1) for _ in range(20)] == [next(gen2) for _ in range(20)]
+
+    def test_mpki_approximated(self):
+        profile = profile_by_name("lbm-like")
+        gen = TraceGenerator(profile, seed=0)
+        gaps = [next(gen).gap_instructions for _ in range(4000)]
+        observed_mpki = 1000.0 / np.mean(gaps)
+        assert observed_mpki == pytest.approx(profile.mpki, rel=0.15)
+
+    def test_row_locality_approximated(self):
+        profile = profile_by_name("h264-like")  # locality 0.8
+        gen = TraceGenerator(profile, seed=0)
+        last = {}
+        hits = total = 0
+        for _ in range(4000):
+            entry = next(gen)
+            if entry.bank in last:
+                total += 1
+                hits += last[entry.bank] == entry.row
+            last[entry.bank] = entry.row
+        assert hits / total == pytest.approx(profile.row_locality, abs=0.08)
+
+    def test_banks_within_spread(self):
+        profile = profile_by_name("jpeg2k-like")
+        gen = TraceGenerator(profile, seed=0)
+        banks = {next(gen).bank for _ in range(500)}
+        assert banks <= set(range(profile.bank_spread))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_rows_bounded(self, seed):
+        profile = profile_by_name("ycsb-a-like")
+        gen = TraceGenerator(profile, seed=seed, working_set_rows=64)
+        for _ in range(50):
+            assert 0 <= next(gen).row < 64
+
+
+class TestMixes:
+    def test_sixty_mixes_available(self):
+        mixes = build_mixes(60)
+        assert len(mixes) == 60
+        assert all(len(m.profiles) == 4 for m in mixes)
+        assert all(m.core_count == 5 for m in mixes)
+
+    def test_deterministic(self):
+        assert [m.profiles for m in build_mixes(5)] == [
+            m.profiles for m in build_mixes(5)
+        ]
+
+    def test_suites_diverse_within_mix(self):
+        for mix in build_mixes(10):
+            suites = {p.suite for p in mix.profiles}
+            assert len(suites) >= 3
+
+    def test_period_sweep_matches_paper(self):
+        assert PUD_PERIODS_NS[0] == 125.0
+        assert PUD_PERIODS_NS[-1] == 16000.0
