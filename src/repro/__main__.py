@@ -4,7 +4,11 @@ Subcommands:
 
 * ``list``                      -- show registered experiments
 * ``run <id> [--scale NAME]``   -- run one experiment and print its table
-* ``report [--scale NAME]``     -- run everything and emit a markdown report
+* ``campaign [ids...]``         -- run experiments through the campaign
+  scheduler: parallel workers, content-addressed result store, manifest +
+  event log, resumable
+* ``report [ids...]``           -- emit a markdown report served from the
+  campaign store (computes only what is missing)
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import argparse
 import sys
 
 from .analysis.report import generate_report
+from .campaign import GRANULARITIES, ArtifactStore, CampaignRunner
 from .core.scale import ExperimentScale
 from .experiments import EXPERIMENTS, run_experiment
 
@@ -32,6 +37,21 @@ def _scale_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _store_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: %(default)s; 1 = serial)",
+    )
+    parser.add_argument(
+        "--output", metavar="DIR", default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="recompute even when a cached artifact exists",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="PuDHammer reproduction harness"
@@ -44,13 +64,41 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
     _scale_arg(run_parser)
 
+    campaign_parser = subcommands.add_parser(
+        "campaign",
+        help="run experiments in parallel with caching, manifest and event log",
+    )
+    campaign_parser.add_argument(
+        "experiment_ids", nargs="*", default=None,
+        help="experiments to run (default: all)",
+    )
+    _scale_arg(campaign_parser)
+    _store_args(campaign_parser)
+    campaign_parser.add_argument(
+        "--granularity", choices=GRANULARITIES, default="auto",
+        help="task size: whole experiments or per-config session shards "
+             "(default: %(default)s = shard when --jobs > 1)",
+    )
+    campaign_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress events"
+    )
+
     report_parser = subcommands.add_parser(
-        "report", help="run experiments and print a markdown report"
+        "report",
+        help="print a markdown report served from the campaign store",
     )
     report_parser.add_argument("experiment_ids", nargs="*", default=None)
     _scale_arg(report_parser)
+    _store_args(report_parser)
 
     args = parser.parse_args(argv)
+    if args.command in ("campaign", "report"):
+        unknown = [i for i in args.experiment_ids or [] if i not in EXPERIMENTS]
+        if unknown:
+            parser.error(
+                f"unknown experiments: {', '.join(unknown)} "
+                f"(see `repro list`)"
+            )
     if args.command == "list":
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
@@ -59,11 +107,35 @@ def main(argv: list[str] | None = None) -> int:
         result = run_experiment(args.experiment_id, _SCALES[args.scale]())
         result.print()
         return 0
+    if args.command == "campaign":
+        runner = CampaignRunner(
+            store=ArtifactStore(args.output),
+            scale=_SCALES[args.scale](),
+            jobs=args.jobs,
+            granularity=args.granularity,
+            force=args.force,
+            stream=None if args.quiet else sys.stderr,
+        )
+        summary = runner.run(args.experiment_ids or None)
+        print(
+            f"campaign {summary.run_id}: "
+            f"{summary.executed} executed, {summary.cached} cached, "
+            f"{summary.failed} failed in {summary.total_elapsed:.1f}s"
+        )
+        print(f"artifacts: {runner.store.root}")
+        print(f"manifest:  {summary.manifest_path}")
+        print(f"events:    {summary.events_path}")
+        for experiment_id, error in summary.failures.items():
+            print(f"FAILED {experiment_id}: {error}", file=sys.stderr)
+        return 1 if summary.failures else 0
     if args.command == "report":
         report = generate_report(
             scale=_SCALES[args.scale](),
             experiment_ids=args.experiment_ids or None,
             stream=sys.stderr,
+            store=ArtifactStore(args.output),
+            jobs=args.jobs,
+            force=args.force,
         )
         sys.stdout.write(report)
         return 0

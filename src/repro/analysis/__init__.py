@@ -6,11 +6,12 @@ from .randomness import (
     passes_basic_randomness,
     runs_pvalue,
 )
-from .report import generate_report
+from .report import generate_report, render_report
 
 __all__ = [
     "bits_from_bytes",
     "generate_report",
+    "render_report",
     "monobit_pvalue",
     "passes_basic_randomness",
     "runs_pvalue",

@@ -1,39 +1,64 @@
 """Markdown report generation over the experiment registry.
 
-``generate_report`` runs every registered experiment at a given scale and
-renders a paper-vs-measured markdown document; it is the tool that produced
-EXPERIMENTS.md.  Run directly with ``python -m repro.analysis.report``.
+``generate_report`` renders a paper-vs-measured markdown document; it is
+the tool that produced EXPERIMENTS.md.  Results come from the campaign
+subsystem: experiments already present in the artifact store are served
+instantly, the rest are computed (optionally in parallel with ``jobs``)
+and persisted, so repeated report generation never recomputes anything.
+Progress is routed through the campaign event log; the ``stream`` argument
+is only a render target for those events.
+
+Run directly with ``python -m repro.analysis.report``.
 """
 
 from __future__ import annotations
 
 import io
 import sys
-import time
 from typing import Optional, Sequence
 
+from ..campaign import ArtifactStore, run_campaign
+from ..campaign.runner import CampaignSummary
 from ..core.scale import ExperimentScale
-from ..experiments import EXPERIMENTS, run_experiment
 
 
 def generate_report(
     scale: Optional[ExperimentScale] = None,
     experiment_ids: Optional[Sequence[str]] = None,
     stream=None,
+    store: Optional[ArtifactStore] = None,
+    jobs: int = 1,
+    force: bool = False,
 ) -> str:
-    """Run experiments and render a markdown report."""
+    """Render a markdown report, computing only what the store lacks."""
     scale = scale or ExperimentScale.default()
-    ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
+    summary = run_campaign(
+        experiment_ids=experiment_ids,
+        scale=scale,
+        jobs=jobs,
+        store=store,
+        force=force,
+        stream=stream,
+    )
+    if summary.failures:
+        details = "; ".join(
+            f"{experiment_id}: {error}"
+            for experiment_id, error in summary.failures.items()
+        )
+        raise RuntimeError(f"experiments failed: {details}")
+    return render_report(summary)
+
+
+def render_report(summary: CampaignSummary) -> str:
+    """Markdown-render the results of a completed campaign."""
+    scale = summary.scale
     out = io.StringIO()
     out.write("# PuDHammer reproduction report\n\n")
     out.write(
         f"Scale: subarrays={scale.subarrays}, row_step={scale.row_step}, "
         f"simra_groups={scale.simra_groups}, trr_hammers={scale.trr_hammers}\n\n"
     )
-    for experiment_id in ids:
-        started = time.time()
-        result = run_experiment(experiment_id, scale)
-        elapsed = time.time() - started
+    for experiment_id, result in summary.results.items():
         out.write(f"## {result.experiment_id}: {result.title}\n\n")
         if result.rows:
             keys = list(result.rows[0])
@@ -53,10 +78,8 @@ def generate_report(
             out.write("\n")
         for note in result.notes:
             out.write(f"> {note}\n")
+        elapsed = summary.elapsed.get(experiment_id, 0.0)
         out.write(f"\n_(runtime {elapsed:.1f}s)_\n\n")
-        if stream is not None:
-            stream.write(f"{experiment_id} done in {elapsed:.1f}s\n")
-            stream.flush()
     return out.getvalue()
 
 

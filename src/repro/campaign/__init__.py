@@ -1,0 +1,78 @@
+"""Campaign orchestration: run the experiment registry at scale.
+
+The paper's characterization took weeks of FPGA time across 316 chips;
+this package is the software equivalent of that lab infrastructure.  It
+schedules the (deterministic, embarrassingly parallel) experiment registry
+over a process pool, persists every result in a content-addressed artifact
+store, and records a manifest plus JSONL event log per run so campaigns
+are observable and resumable.
+
+Typical use::
+
+    from repro.campaign import run_campaign
+    summary = run_campaign(scale=ExperimentScale.small(), jobs=4)
+    summary.results["fig04"].print()
+
+or from the command line::
+
+    python -m repro campaign --scale small --jobs 4
+"""
+
+from .events import (
+    CACHE_HIT,
+    CAMPAIGN_FINISHED,
+    CAMPAIGN_STARTED,
+    TASK_FAILED,
+    TASK_FINISHED,
+    TASK_STARTED,
+    WORKER_CRASHED,
+    CampaignEvent,
+    EventLog,
+    read_events,
+    render_event,
+)
+from .runner import CampaignRunner, CampaignSummary, TaskOutcome, run_campaign
+from .shards import (
+    ALL_CONFIGS,
+    GRANULARITIES,
+    SESSION_SHARDED,
+    Task,
+    merge_shard_results,
+    plan_tasks,
+)
+from .store import (
+    ArtifactKey,
+    ArtifactStore,
+    code_fingerprint,
+    default_root,
+    scale_fingerprint,
+)
+
+__all__ = [
+    "ALL_CONFIGS",
+    "ArtifactKey",
+    "ArtifactStore",
+    "CACHE_HIT",
+    "CAMPAIGN_FINISHED",
+    "CAMPAIGN_STARTED",
+    "CampaignEvent",
+    "CampaignRunner",
+    "CampaignSummary",
+    "EventLog",
+    "GRANULARITIES",
+    "SESSION_SHARDED",
+    "TASK_FAILED",
+    "TASK_FINISHED",
+    "TASK_STARTED",
+    "Task",
+    "TaskOutcome",
+    "WORKER_CRASHED",
+    "code_fingerprint",
+    "default_root",
+    "merge_shard_results",
+    "plan_tasks",
+    "read_events",
+    "render_event",
+    "run_campaign",
+    "scale_fingerprint",
+]

@@ -1,0 +1,132 @@
+"""Campaign observability: a JSONL event log and a thin progress renderer.
+
+Every state transition in a campaign -- experiment started / finished /
+failed, cache hit, worker crash -- is one :class:`CampaignEvent` appended to
+``runs/<run_id>/events.jsonl``.  The log is the single source of progress
+truth: live progress on a terminal is just :func:`render_event` applied to
+each event as it is emitted, and a killed campaign's log shows exactly which
+artifacts completed before the kill.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import IO, Iterator, Optional
+
+# event kinds, in rough lifecycle order
+CAMPAIGN_STARTED = "campaign_started"
+TASK_STARTED = "task_started"
+TASK_FINISHED = "task_finished"
+TASK_FAILED = "task_failed"
+CACHE_HIT = "cache_hit"
+WORKER_CRASHED = "worker_crashed"
+CAMPAIGN_FINISHED = "campaign_finished"
+
+
+@dataclass
+class CampaignEvent:
+    """One line of the campaign event log."""
+
+    event: str
+    #: experiment id (or None for campaign-level events)
+    experiment_id: Optional[str] = None
+    #: shard label when the task is one session-granularity slice
+    shard: Optional[str] = None
+    #: worker identity ("serial", "pool-3", ...)
+    worker: Optional[str] = None
+    #: wall time of the finished/failed task, seconds
+    elapsed: Optional[float] = None
+    #: "hit" or "miss" on task completion events
+    cache: Optional[str] = None
+    error: Optional[str] = None
+    #: free-form campaign-level payload (counts, run id, ...)
+    detail: dict = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.time)
+
+    def to_json(self) -> str:
+        payload = {k: v for k, v in asdict(self).items() if v not in (None, {})}
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "CampaignEvent":
+        payload = json.loads(line)
+        return cls(**{k: payload.get(k) for k in cls.__dataclass_fields__
+                      if k in payload})
+
+    @property
+    def label(self) -> Optional[str]:
+        if self.experiment_id is None:
+            return None
+        if self.shard:
+            return f"{self.experiment_id}[{self.shard}]"
+        return self.experiment_id
+
+
+def render_event(event: CampaignEvent) -> Optional[str]:
+    """One human-readable progress line per event, or None to stay quiet.
+
+    This is deliberately a *renderer only*: no timing, counting or state
+    lives here -- it all comes in on the event.
+    """
+    if event.event == CAMPAIGN_STARTED:
+        detail = event.detail or {}
+        return (
+            f"campaign {detail.get('run_id', '?')}: "
+            f"{detail.get('tasks', '?')} tasks, jobs={detail.get('jobs', '?')}"
+        )
+    if event.event == TASK_FINISHED:
+        return f"{event.label} done in {event.elapsed:.1f}s [{event.worker}]"
+    if event.event == CACHE_HIT:
+        return f"{event.label} cached (saved {event.elapsed:.1f}s)"
+    if event.event == TASK_FAILED:
+        return f"{event.label} FAILED: {event.error}"
+    if event.event == WORKER_CRASHED:
+        return f"worker pool crashed ({event.error}); retrying remaining tasks"
+    if event.event == CAMPAIGN_FINISHED:
+        detail = event.detail or {}
+        return (
+            f"campaign finished: {detail.get('executed', 0)} executed, "
+            f"{detail.get('cached', 0)} cached, "
+            f"{detail.get('failed', 0)} failed "
+            f"in {event.elapsed:.1f}s"
+        )
+    return None
+
+
+class EventLog:
+    """Append-only JSONL event sink, optionally mirrored to a stream.
+
+    ``path=None`` keeps the log in memory only (used by one-off report
+    generation when no campaign directory is wanted).
+    """
+
+    def __init__(self, path: Optional[Path] = None, stream: Optional[IO] = None):
+        self.path = Path(path) if path is not None else None
+        self.stream = stream
+        self.events: list[CampaignEvent] = []
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, event: CampaignEvent) -> CampaignEvent:
+        self.events.append(event)
+        if self.path is not None:
+            with self.path.open("a") as handle:
+                handle.write(event.to_json() + "\n")
+        if self.stream is not None:
+            line = render_event(event)
+            if line is not None:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+        return event
+
+
+def read_events(path: Path | str) -> Iterator[CampaignEvent]:
+    """Parse an ``events.jsonl`` file back into events."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield CampaignEvent.from_json(line)

@@ -1,0 +1,365 @@
+"""The campaign runner: fan the experiment registry out across workers.
+
+Because every experiment is deterministic (content-hash seeding) and every
+task is independent, a campaign is embarrassingly parallel: the runner
+plans tasks (whole experiments, or per-config session shards for the
+experiments that support it), skips everything already in the artifact
+store, executes the rest on a process pool, and persists each result as it
+lands.  A killed campaign therefore resumes for free -- re-running it skips
+the completed artifacts and only executes what is missing.
+
+Worker crashes (OOM killer, segfault in a native extension) break the whole
+``ProcessPoolExecutor``; the runner restarts the pool and retries the
+not-yet-finished tasks up to ``max_pool_restarts`` times, then falls back
+to in-process serial execution so a flaky pool can never lose a campaign.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+import dataclasses
+import json
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional, Sequence
+
+from ..core.scale import ExperimentScale
+from ..experiments import EXPERIMENTS, run_experiment
+from ..experiments.base import ExperimentResult
+from .events import (
+    CACHE_HIT,
+    CAMPAIGN_FINISHED,
+    CAMPAIGN_STARTED,
+    TASK_FAILED,
+    TASK_FINISHED,
+    TASK_STARTED,
+    WORKER_CRASHED,
+    CampaignEvent,
+    EventLog,
+)
+from .shards import Task, merge_shard_results, plan_tasks
+from .store import ArtifactStore, code_fingerprint, scale_fingerprint
+
+
+def _execute_task(payload: tuple) -> tuple[dict, float, str]:
+    """Process-pool entry point: run one task, return a picklable triple."""
+    experiment_id, shard, kwargs, scale = payload
+    task = Task(experiment_id, shard=shard, kwargs=kwargs)
+    started = time.perf_counter()
+    result = run_experiment(task.experiment_id, scale, **task.run_kwargs())
+    elapsed = time.perf_counter() - started
+    return result.to_dict(), elapsed, multiprocessing.current_process().name
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one scheduled task."""
+
+    task: Task
+    status: str  # "cached" | "executed" | "failed"
+    result: Optional[ExperimentResult] = None
+    elapsed: float = 0.0
+    worker: Optional[str] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignSummary:
+    """Everything a caller needs after :meth:`CampaignRunner.run`."""
+
+    run_id: str
+    run_dir: Path
+    scale: ExperimentScale
+    #: merged per-experiment results, in requested order (failed ones absent)
+    results: dict[str, ExperimentResult] = field(default_factory=dict)
+    #: wall time attributed to each experiment (sum over its tasks)
+    elapsed: dict[str, float] = field(default_factory=dict)
+    failures: dict[str, str] = field(default_factory=dict)
+    outcomes: list[TaskOutcome] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    total_elapsed: float = 0.0
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / "manifest.json"
+
+    @property
+    def events_path(self) -> Path:
+        return self.run_dir / "events.jsonl"
+
+
+class CampaignRunner:
+    """Schedule the experiment registry over an artifact store."""
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        scale: Optional[ExperimentScale] = None,
+        jobs: int = 1,
+        granularity: str = "auto",
+        force: bool = False,
+        max_pool_restarts: int = 2,
+        stream: Optional[IO] = None,
+        run_id: Optional[str] = None,
+    ):
+        self.store = store if store is not None else ArtifactStore()
+        self.scale = scale or ExperimentScale.default()
+        self.jobs = max(1, int(jobs))
+        self.granularity = granularity
+        self.force = force
+        self.max_pool_restarts = max_pool_restarts
+        self.stream = stream
+        self.run_id = run_id or time.strftime("%Y%m%dT%H%M%S") + "-" + uuid.uuid4().hex[:6]
+
+    # ------------------------------------------------------------------
+    def run(self, experiment_ids: Optional[Sequence[str]] = None) -> CampaignSummary:
+        ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
+        unknown = [i for i in ids if i not in EXPERIMENTS]
+        if unknown:
+            raise KeyError(
+                f"unknown experiments {unknown}; known: {sorted(EXPERIMENTS)}"
+            )
+        tasks = plan_tasks(ids, self.granularity, self.jobs)
+        summary = CampaignSummary(
+            run_id=self.run_id,
+            run_dir=self.store.runs_dir / self.run_id,
+            scale=self.scale,
+        )
+        summary.run_dir.mkdir(parents=True, exist_ok=True)
+        log = EventLog(summary.events_path, stream=self.stream)
+        started = time.perf_counter()
+        log.emit(CampaignEvent(CAMPAIGN_STARTED, detail={
+            "run_id": self.run_id,
+            "tasks": len(tasks),
+            "jobs": self.jobs,
+            "experiments": ids,
+            "scale_fp": scale_fingerprint(self.scale),
+            "code_fp": code_fingerprint(),
+        }))
+
+        outcomes: dict[Task, TaskOutcome] = {}
+        pending: list[Task] = []
+        for task in tasks:
+            outcome = None if self.force else self._from_cache(task, log)
+            if outcome is not None:
+                outcomes[task] = outcome
+            else:
+                pending.append(task)
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, outcomes, log)
+            else:
+                self._run_pool(pending, outcomes, log)
+
+        self._merge_and_record(ids, tasks, outcomes, summary)
+        summary.total_elapsed = time.perf_counter() - started
+        log.emit(CampaignEvent(CAMPAIGN_FINISHED, elapsed=summary.total_elapsed,
+                               detail={"executed": summary.executed,
+                                       "cached": summary.cached,
+                                       "failed": summary.failed}))
+        self._write_manifest(summary, ids)
+        return summary
+
+    # -- cache ---------------------------------------------------------
+    def _from_cache(self, task: Task, log: EventLog) -> Optional[TaskOutcome]:
+        key = self.store.key(task.experiment_id, self.scale, task.shard)
+        payload = self.store.get_payload(key)
+        if payload is None:
+            return None
+        saved = float(payload.get("elapsed") or 0.0)
+        log.emit(CampaignEvent(CACHE_HIT, experiment_id=task.experiment_id,
+                               shard=task.shard, elapsed=saved, cache="hit",
+                               worker="cache"))
+        return TaskOutcome(
+            task, "cached",
+            result=ExperimentResult.from_dict(payload["result"]),
+            elapsed=saved, worker="cache",
+        )
+
+    def _record_success(
+        self, task: Task, result_dict: dict, elapsed: float, worker: str,
+        outcomes: dict[Task, TaskOutcome], log: EventLog,
+    ) -> None:
+        result = ExperimentResult.from_dict(result_dict)
+        key = self.store.key(task.experiment_id, self.scale, task.shard)
+        self.store.put(key, result, elapsed, worker=worker)
+        outcomes[task] = TaskOutcome(task, "executed", result=result,
+                                     elapsed=elapsed, worker=worker)
+        log.emit(CampaignEvent(TASK_FINISHED, experiment_id=task.experiment_id,
+                               shard=task.shard, elapsed=elapsed,
+                               cache="miss", worker=worker))
+
+    def _record_failure(
+        self, task: Task, error: BaseException,
+        outcomes: dict[Task, TaskOutcome], log: EventLog, worker: str,
+    ) -> None:
+        message = f"{type(error).__name__}: {error}"
+        outcomes[task] = TaskOutcome(task, "failed", error=message, worker=worker)
+        log.emit(CampaignEvent(TASK_FAILED, experiment_id=task.experiment_id,
+                               shard=task.shard, error=message, worker=worker))
+
+    # -- execution paths ----------------------------------------------
+    def _run_serial(
+        self, pending: list[Task], outcomes: dict[Task, TaskOutcome],
+        log: EventLog,
+    ) -> None:
+        for task in pending:
+            log.emit(CampaignEvent(TASK_STARTED, experiment_id=task.experiment_id,
+                                   shard=task.shard, worker="serial"))
+            try:
+                result_dict, elapsed, _ = _execute_task(
+                    (task.experiment_id, task.shard, task.kwargs, self.scale)
+                )
+            except Exception as error:
+                self._record_failure(task, error, outcomes, log, worker="serial")
+            else:
+                self._record_success(task, result_dict, elapsed, "serial",
+                                     outcomes, log)
+
+    def _run_pool(
+        self, pending: list[Task], outcomes: dict[Task, TaskOutcome],
+        log: EventLog,
+    ) -> None:
+        remaining = list(pending)
+        restarts = 0
+        while remaining:
+            crashed = False
+            executor = ProcessPoolExecutor(max_workers=self.jobs)
+            try:
+                futures = {}
+                for task in remaining:
+                    log.emit(CampaignEvent(TASK_STARTED, worker="pool",
+                                           experiment_id=task.experiment_id,
+                                           shard=task.shard))
+                    futures[executor.submit(
+                        _execute_task,
+                        (task.experiment_id, task.shard, task.kwargs, self.scale),
+                    )] = task
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task = futures[future]
+                        try:
+                            result_dict, elapsed, worker = future.result()
+                        except BrokenProcessPool as error:
+                            crashed = True
+                            log.emit(CampaignEvent(WORKER_CRASHED,
+                                                   error=str(error) or "pool died"))
+                        except Exception as error:
+                            self._record_failure(task, error, outcomes, log,
+                                                 worker="pool")
+                        else:
+                            self._record_success(task, result_dict, elapsed,
+                                                 worker, outcomes, log)
+                    if crashed:
+                        break
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            remaining = [t for t in remaining if t not in outcomes]
+            if not crashed or not remaining:
+                return
+            restarts += 1
+            if restarts > self.max_pool_restarts:
+                # the pool keeps dying; finish in-process so the campaign
+                # still completes (and a poisoned task fails loudly)
+                self._run_serial(remaining, outcomes, log)
+                return
+
+    # -- merge + manifest ---------------------------------------------
+    def _merge_and_record(
+        self, ids: list[str], tasks: list[Task],
+        outcomes: dict[Task, TaskOutcome], summary: CampaignSummary,
+    ) -> None:
+        by_experiment: dict[str, list[Task]] = {}
+        for task in tasks:
+            by_experiment.setdefault(task.experiment_id, []).append(task)
+        for outcome in (outcomes[t] for t in tasks if t in outcomes):
+            summary.outcomes.append(outcome)
+            if outcome.status == "cached":
+                summary.cached += 1
+            elif outcome.status == "executed":
+                summary.executed += 1
+            else:
+                summary.failed += 1
+        for experiment_id in ids:
+            experiment_tasks = by_experiment[experiment_id]
+            task_outcomes = [outcomes.get(t) for t in experiment_tasks]
+            errors = [o.error for o in task_outcomes if o and o.error]
+            if errors or any(o is None for o in task_outcomes):
+                summary.failures[experiment_id] = (
+                    "; ".join(errors) or "not executed"
+                )
+                continue
+            summary.elapsed[experiment_id] = sum(o.elapsed for o in task_outcomes)
+            if len(experiment_tasks) == 1 and experiment_tasks[0].shard is None:
+                summary.results[experiment_id] = task_outcomes[0].result
+                continue
+            merged = merge_shard_results(
+                experiment_id, [o.result for o in task_outcomes]
+            )
+            summary.results[experiment_id] = merged
+            # publish the merged result under the whole-experiment key too,
+            # so experiment-granularity consumers (report, `repro run`) hit
+            whole_key = self.store.key(experiment_id, self.scale)
+            if self.force or not self.store.has(whole_key):
+                self.store.put(whole_key, merged,
+                               summary.elapsed[experiment_id], worker="merge")
+
+    def _write_manifest(self, summary: CampaignSummary, ids: list[str]) -> None:
+        manifest = {
+            "run_id": summary.run_id,
+            "created_at": time.time(),
+            "scale": dataclasses.asdict(self.scale),
+            "scale_fp": scale_fingerprint(self.scale),
+            "code_fp": code_fingerprint(),
+            "jobs": self.jobs,
+            "granularity": self.granularity,
+            "force": self.force,
+            "experiments": ids,
+            "counts": {
+                "executed": summary.executed,
+                "cached": summary.cached,
+                "failed": summary.failed,
+            },
+            "total_elapsed": summary.total_elapsed,
+            "tasks": [
+                {
+                    "experiment_id": o.task.experiment_id,
+                    "shard": o.task.shard,
+                    "digest": self.store.key(
+                        o.task.experiment_id, self.scale, o.task.shard
+                    ).digest,
+                    "status": o.status,
+                    "elapsed": o.elapsed,
+                    "worker": o.worker,
+                    "error": o.error,
+                }
+                for o in summary.outcomes
+            ],
+        }
+        tmp = summary.manifest_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1))
+        tmp.replace(summary.manifest_path)
+
+
+def run_campaign(
+    experiment_ids: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+    jobs: int = 1,
+    store: Optional[ArtifactStore] = None,
+    granularity: str = "auto",
+    force: bool = False,
+    stream: Optional[IO] = None,
+) -> CampaignSummary:
+    """One-call convenience wrapper around :class:`CampaignRunner`."""
+    runner = CampaignRunner(store=store, scale=scale, jobs=jobs,
+                            granularity=granularity, force=force, stream=stream)
+    return runner.run(experiment_ids)

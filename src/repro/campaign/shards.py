@@ -1,0 +1,110 @@
+"""Task planning: experiment-level and session-level work units.
+
+An experiment whose rows/checks are computed independently per
+:class:`CharacterizationSession` (one per module configuration) can be split
+into one task per configuration and merged losslessly afterwards -- every
+measurement is seeded by content (`stable_seed`), never by execution order,
+so a merged sharded run is byte-identical to a whole serial run.
+
+Experiments that pool measurements *across* sessions (fig04's global change
+distribution, fig10's direction-reversal pool) are deliberately absent from
+:data:`SESSION_SHARDED` and always run whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..disturbance.calibration import MODULE_CALIBRATIONS
+from ..experiments.base import REPRESENTATIVE_CONFIGS, ExperimentResult
+
+#: all Table 2 configurations, in calibration order
+ALL_CONFIGS = tuple(c.config_id for c in MODULE_CALIBRATIONS)
+
+#: experiment id -> ordered shard labels (module config ids).  Only
+#: experiments whose runner accepts ``config_ids`` and aggregates strictly
+#: per session may appear here.
+SESSION_SHARDED: dict[str, tuple[str, ...]] = {
+    "table2": ALL_CONFIGS,
+    "fig05": REPRESENTATIVE_CONFIGS,
+    "fig06": REPRESENTATIVE_CONFIGS,
+    "fig07": REPRESENTATIVE_CONFIGS,
+    "fig08": REPRESENTATIVE_CONFIGS,
+    "fig09": REPRESENTATIVE_CONFIGS,
+    "fig11": REPRESENTATIVE_CONFIGS,
+}
+
+GRANULARITIES = ("auto", "experiment", "session")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: a whole experiment or one session shard."""
+
+    experiment_id: str
+    shard: Optional[str] = None
+    kwargs: tuple = field(default_factory=tuple)  # sorted (name, value) pairs
+
+    @property
+    def label(self) -> str:
+        if self.shard:
+            return f"{self.experiment_id}[{self.shard}]"
+        return self.experiment_id
+
+    def run_kwargs(self) -> dict:
+        kwargs = dict(self.kwargs)
+        if self.shard is not None:
+            kwargs["config_ids"] = (self.shard,)
+        return kwargs
+
+
+def plan_tasks(
+    experiment_ids: list[str], granularity: str = "auto", jobs: int = 1
+) -> list[Task]:
+    """Expand experiment ids into schedulable tasks.
+
+    ``granularity="experiment"`` keeps one task per experiment;
+    ``"session"`` shards every shardable experiment; ``"auto"`` shards only
+    when more than one worker is available (sharding costs nothing in
+    results but adds per-task session setup, so it only pays off when it
+    buys parallelism).
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; known: {GRANULARITIES}"
+        )
+    shard = granularity == "session" or (granularity == "auto" and jobs > 1)
+    tasks: list[Task] = []
+    for experiment_id in experiment_ids:
+        configs = SESSION_SHARDED.get(experiment_id)
+        if shard and configs:
+            tasks.extend(
+                Task(experiment_id, shard=config) for config in configs
+            )
+        else:
+            tasks.append(Task(experiment_id))
+    return tasks
+
+
+def merge_shard_results(
+    experiment_id: str, parts: list[ExperimentResult]
+) -> ExperimentResult:
+    """Merge session-shard results back into one whole-experiment result.
+
+    ``parts`` must be in shard declaration order (the order
+    :data:`SESSION_SHARDED` lists the configs); rows and checks concatenate
+    in that order, notes dedupe (each shard re-emits the same static note).
+    """
+    if not parts:
+        raise ValueError(f"no shard results to merge for {experiment_id!r}")
+    merged = ExperimentResult(experiment_id, parts[0].title)
+    seen_notes: set[str] = set()
+    for part in parts:
+        merged.rows.extend(part.rows)
+        merged.checks.update(part.checks)
+        for note in part.notes:
+            if note not in seen_notes:
+                seen_notes.add(note)
+                merged.notes.append(note)
+    return merged

@@ -1,0 +1,214 @@
+"""Content-addressed artifact store for experiment results.
+
+Every experiment in this repository is deterministic: all randomness flows
+through :func:`repro.disturbance.distributions.stable_seed`, so a result is
+fully determined by *what* ran (experiment id + shard), *how big* it ran
+(:class:`ExperimentScale`), and *which code* ran it.  The store keys each
+persisted :class:`ExperimentResult` on exactly that triple, which makes
+re-runs, resumed campaigns and report generation cache hits instead of
+hours of recomputation.
+
+Layout under the store root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)::
+
+    artifacts/<aa>/<digest>.json   -- one ExperimentResult + metadata
+    runs/<run_id>/manifest.json    -- written by the campaign runner
+    runs/<run_id>/events.jsonl     -- written by the campaign runner
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from ..core.scale import ExperimentScale
+from ..experiments.base import ExperimentResult
+
+#: bump to invalidate every artifact regardless of code fingerprint
+STORE_FORMAT = 1
+
+
+def scale_fingerprint(scale: ExperimentScale) -> str:
+    """Stable hex digest of every knob on an :class:`ExperimentScale`."""
+    payload = json.dumps(
+        dataclasses.asdict(scale), sort_keys=True, default=list
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hex digest over the source of the ``repro`` package.
+
+    Any edit to any ``.py`` file under ``src/repro`` changes the
+    fingerprint, so stale artifacts from older code can never be served.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one stored result: what ran, at which scale, which code."""
+
+    experiment_id: str
+    scale_fp: str
+    code_fp: str
+    #: shard label (e.g. a config id) when the artifact is one slice of an
+    #: experiment run at session granularity; ``None`` for a whole result
+    shard: Optional[str] = None
+
+    @property
+    def digest(self) -> str:
+        parts = (
+            f"format={STORE_FORMAT}",
+            f"experiment={self.experiment_id}",
+            f"shard={self.shard or ''}",
+            f"scale={self.scale_fp}",
+            f"code={self.code_fp}",
+        )
+        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+    @property
+    def label(self) -> str:
+        if self.shard:
+            return f"{self.experiment_id}[{self.shard}]"
+        return self.experiment_id
+
+
+def default_root() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ArtifactStore:
+    """Filesystem-backed, content-addressed store of experiment results.
+
+    Writes are atomic (temp file + rename), so concurrent campaign workers
+    and concurrent campaigns can share one store safely.
+    """
+
+    def __init__(self, root: Optional[Path | str] = None):
+        self.root = Path(root) if root is not None else default_root()
+
+    # -- keys ----------------------------------------------------------
+    def key(
+        self,
+        experiment_id: str,
+        scale: ExperimentScale,
+        shard: Optional[str] = None,
+    ) -> ArtifactKey:
+        return ArtifactKey(
+            experiment_id=experiment_id,
+            scale_fp=scale_fingerprint(scale),
+            code_fp=code_fingerprint(),
+            shard=shard,
+        )
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def artifacts_dir(self) -> Path:
+        return self.root / "artifacts"
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    def artifact_path(self, key: ArtifactKey) -> Path:
+        digest = key.digest
+        return self.artifacts_dir / digest[:2] / f"{digest}.json"
+
+    # -- artifact IO ---------------------------------------------------
+    def has(self, key: ArtifactKey) -> bool:
+        return self.artifact_path(key).exists()
+
+    def get(self, key: ArtifactKey) -> Optional[ExperimentResult]:
+        """The stored result for ``key``, or ``None`` on a miss.
+
+        A corrupt artifact (truncated write from a killed process on a
+        filesystem without atomic rename) is treated as a miss.
+        """
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        return ExperimentResult.from_dict(payload["result"])
+
+    def get_payload(self, key: ArtifactKey) -> Optional[dict]:
+        path = self.artifact_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("key", {}).get("digest") != key.digest:
+            return None
+        return payload
+
+    def put(
+        self,
+        key: ArtifactKey,
+        result: ExperimentResult,
+        elapsed: float,
+        worker: Optional[str] = None,
+    ) -> Path:
+        path = self.artifact_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": {
+                "digest": key.digest,
+                "experiment_id": key.experiment_id,
+                "shard": key.shard,
+                "scale_fp": key.scale_fp,
+                "code_fp": key.code_fp,
+                "format": STORE_FORMAT,
+            },
+            "created_at": time.time(),
+            "elapsed": elapsed,
+            "worker": worker,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=1))
+        tmp.replace(path)
+        return path
+
+    # -- maintenance ---------------------------------------------------
+    def artifact_count(self) -> int:
+        if not self.artifacts_dir.exists():
+            return 0
+        return sum(1 for _ in self.artifacts_dir.rglob("*.json"))
+
+    def prune(self) -> int:
+        """Delete artifacts not reachable from the current code fingerprint.
+
+        Returns the number of files removed.  Useful after a code change
+        has orphaned old artifacts.
+        """
+        current = code_fingerprint()
+        removed = 0
+        if not self.artifacts_dir.exists():
+            return 0
+        for path in self.artifacts_dir.rglob("*.json"):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                path.unlink(missing_ok=True)
+                removed += 1
+                continue
+            if payload.get("key", {}).get("code_fp") != current:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -70,6 +70,27 @@ class ExperimentResult:
     def print(self) -> None:
         print(self.format_table())
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [dict(row) for row in self.rows],
+            "checks": dict(self.checks),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a store artifact)."""
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            rows=[dict(row) for row in payload.get("rows", [])],
+            checks=dict(payload.get("checks", {})),
+            notes=list(payload.get("notes", [])),
+        )
+
 
 def _fmt(value) -> str:
     if value is None:

@@ -74,10 +74,15 @@ def run_fig04(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     return result
 
 
-def run_fig05(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+def run_fig05(
+    scale: Optional[ExperimentScale] = None,
+    config_ids: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
     """Fig. 5: CoMRA HC_first across the four data patterns."""
     result = ExperimentResult("fig05", "Double-sided CoMRA data-pattern sweep")
-    sessions = representative_sessions(scale)
+    sessions = representative_sessions(
+        scale, config_ids if config_ids is not None else REPRESENTATIVE_CONFIGS
+    )
     for session in sessions:
         victims = session.candidate_victims()[::2]
         per_pattern: dict[str, list[float]] = defaultdict(list)
@@ -111,10 +116,15 @@ def run_fig05(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     return result
 
 
-def run_fig06(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+def run_fig06(
+    scale: Optional[ExperimentScale] = None,
+    config_ids: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
     """Fig. 6: CoMRA HC_first at 50/60/70/80 degC."""
     result = ExperimentResult("fig06", "Double-sided CoMRA temperature sweep")
-    sessions = representative_sessions(scale)
+    sessions = representative_sessions(
+        scale, config_ids if config_ids is not None else REPRESENTATIVE_CONFIGS
+    )
     temperatures = (50.0, 60.0, 70.0, 80.0)
     for session in sessions:
         vendor = session.module.vendor.value
@@ -150,12 +160,17 @@ def run_fig06(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     return result
 
 
-def run_fig07(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+def run_fig07(
+    scale: Optional[ExperimentScale] = None,
+    config_ids: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
     """Fig. 7: single-sided CoMRA vs single-sided and far double-sided RH."""
     result = ExperimentResult(
         "fig07", "Single-sided CoMRA vs RowHammer vs far double-sided RowHammer"
     )
-    sessions = representative_sessions(scale)
+    sessions = representative_sessions(
+        scale, config_ids if config_ids is not None else REPRESENTATIVE_CONFIGS
+    )
     for session in sessions:
         vendor = session.module.vendor.value
         geometry = session.module.geometry
@@ -207,10 +222,15 @@ def run_fig07(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     return result
 
 
-def run_fig08(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+def run_fig08(
+    scale: Optional[ExperimentScale] = None,
+    config_ids: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
     """Fig. 8: CoMRA vs RowPress across tAggOn values."""
     result = ExperimentResult("fig08", "Double-sided CoMRA vs RowPress (tAggOn)")
-    sessions = representative_sessions(scale)
+    sessions = representative_sessions(
+        scale, config_ids if config_ids is not None else REPRESENTATIVE_CONFIGS
+    )
     t_agg_on_values = (36.0, 144.0, 7_800.0, 70_200.0)
     for session in sessions:
         vendor = session.module.vendor.value
@@ -259,10 +279,15 @@ def run_fig08(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     return result
 
 
-def run_fig09(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+def run_fig09(
+    scale: Optional[ExperimentScale] = None,
+    config_ids: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
     """Fig. 9: CoMRA PRE -> ACT latency sweep."""
     result = ExperimentResult("fig09", "Double-sided CoMRA PRE->ACT latency sweep")
-    sessions = representative_sessions(scale)
+    sessions = representative_sessions(
+        scale, config_ids if config_ids is not None else REPRESENTATIVE_CONFIGS
+    )
     delays = (7.5, 9.0, 10.5, 12.0)
     for session in sessions:
         vendor = session.module.vendor.value
@@ -346,12 +371,17 @@ def run_fig10(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     return result
 
 
-def run_fig11(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+def run_fig11(
+    scale: Optional[ExperimentScale] = None,
+    config_ids: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
     """Fig. 11: CoMRA HC_first by victim location in the subarray."""
     result = ExperimentResult("fig11", "Double-sided CoMRA spatial variation")
     # spatial bins need denser row coverage than the default step
     scale = (scale or ExperimentScale.default()).with_overrides(row_step=5)
-    sessions = representative_sessions(scale)
+    sessions = representative_sessions(
+        scale, config_ids if config_ids is not None else REPRESENTATIVE_CONFIGS
+    )
     for session in sessions:
         vendor = session.module.vendor.value
         by_region: dict[str, list[float]] = defaultdict(list)

@@ -8,7 +8,7 @@ against the paper's reported values.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -41,12 +41,20 @@ def run_table1(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     return result
 
 
-def run_table2(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
-    """Table 2: measured min/avg HC_first per module configuration."""
+def run_table2(
+    scale: Optional[ExperimentScale] = None,
+    config_ids: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Table 2: measured min/avg HC_first per module configuration.
+
+    ``config_ids`` restricts the run to a subset of module configurations;
+    the campaign runner uses it to shard the experiment across workers
+    (per-config results are independent, so shards merge losslessly).
+    """
     result = ExperimentResult(
         "table2", "Per-configuration minimum (average) HC_first"
     )
-    sessions = population_sessions(scale)
+    sessions = population_sessions(scale, config_ids=config_ids)
     for session in sessions:
         calibration = session.module.calibration
         rh_values: list[float] = []

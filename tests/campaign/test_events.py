@@ -1,0 +1,69 @@
+"""Campaign event log and progress renderer."""
+
+import io
+
+from repro.campaign import (
+    CACHE_HIT,
+    CAMPAIGN_FINISHED,
+    CAMPAIGN_STARTED,
+    TASK_FAILED,
+    TASK_FINISHED,
+    TASK_STARTED,
+    WORKER_CRASHED,
+    CampaignEvent,
+    EventLog,
+    read_events,
+    render_event,
+)
+
+
+def test_jsonl_roundtrip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.emit(CampaignEvent(CAMPAIGN_STARTED, detail={"run_id": "r1", "tasks": 2}))
+    log.emit(CampaignEvent(TASK_FINISHED, experiment_id="fig04",
+                           elapsed=1.5, cache="miss", worker="pool-1"))
+    log.emit(CampaignEvent(TASK_FAILED, experiment_id="fig05",
+                           shard="hynix-a-8gb", error="ValueError: boom"))
+    events = list(read_events(path))
+    assert [e.event for e in events] == [
+        CAMPAIGN_STARTED, TASK_FINISHED, TASK_FAILED,
+    ]
+    assert events[0].detail == {"run_id": "r1", "tasks": 2}
+    assert events[1].elapsed == 1.5 and events[1].worker == "pool-1"
+    assert events[2].label == "fig05[hynix-a-8gb]"
+    assert events[2].error == "ValueError: boom"
+
+
+def test_in_memory_log_and_stream_mirroring():
+    stream = io.StringIO()
+    log = EventLog(stream=stream)
+    log.emit(CampaignEvent(CACHE_HIT, experiment_id="fig04", elapsed=3.0))
+    log.emit(CampaignEvent(TASK_STARTED, experiment_id="fig05"))  # quiet
+    assert log.path is None and len(log.events) == 2
+    lines = stream.getvalue().splitlines()
+    assert lines == ["fig04 cached (saved 3.0s)"]
+
+
+def test_render_event_covers_lifecycle():
+    assert "2 tasks" in render_event(
+        CampaignEvent(CAMPAIGN_STARTED, detail={"run_id": "r", "tasks": 2,
+                                                "jobs": 4})
+    )
+    assert render_event(
+        CampaignEvent(TASK_FINISHED, experiment_id="fig04", elapsed=0.5,
+                      worker="serial")
+    ) == "fig04 done in 0.5s [serial]"
+    assert "FAILED" in render_event(
+        CampaignEvent(TASK_FAILED, experiment_id="fig04", error="boom")
+    )
+    assert "retrying" in render_event(
+        CampaignEvent(WORKER_CRASHED, error="pool died")
+    )
+    finished = render_event(
+        CampaignEvent(CAMPAIGN_FINISHED, elapsed=10.0,
+                      detail={"executed": 3, "cached": 2, "failed": 0})
+    )
+    assert "3 executed" in finished and "2 cached" in finished
+    # TASK_STARTED is intentionally quiet
+    assert render_event(CampaignEvent(TASK_STARTED, experiment_id="x")) is None

@@ -1,0 +1,168 @@
+"""Campaign runner: scheduling, caching, resume, determinism, crashes.
+
+Uses the fastest experiments (table1, fig21, fig22, fig13, fig05) to keep
+the tier-1 suite quick; the properties under test are scale-independent.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import ExperimentScale
+from repro.campaign import (
+    CACHE_HIT,
+    TASK_FAILED,
+    TASK_FINISHED,
+    WORKER_CRASHED,
+    ArtifactStore,
+    CampaignRunner,
+    read_events,
+    run_campaign,
+)
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentResult
+
+SMALL = ExperimentScale.small()
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="registry monkeypatching needs fork workers",
+)
+
+
+def test_serial_campaign_writes_artifacts_manifest_and_events(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    summary = run_campaign(["table1", "fig21"], scale=SMALL, store=store)
+    assert summary.executed == 2 and summary.cached == 0 and not summary.failures
+    assert sorted(summary.results) == ["fig21", "table1"]
+    assert summary.results["table1"].checks["total_chips"] > 0
+    # every task is persisted content-addressed
+    for experiment_id in ("table1", "fig21"):
+        key = store.key(experiment_id, SMALL)
+        assert store.has(key)
+        assert store.get(key).to_dict() == summary.results[experiment_id].to_dict()
+    manifest = json.loads(summary.manifest_path.read_text())
+    assert manifest["run_id"] == summary.run_id
+    assert manifest["counts"] == {"executed": 2, "cached": 0, "failed": 0}
+    assert {t["experiment_id"] for t in manifest["tasks"]} == {"table1", "fig21"}
+    assert all(t["status"] == "executed" for t in manifest["tasks"])
+    events = list(read_events(summary.events_path))
+    assert events[0].event == "campaign_started"
+    assert events[-1].event == "campaign_finished"
+    assert sum(e.event == TASK_FINISHED for e in events) == 2
+
+
+def test_parallel_matches_serial_byte_identical(tmp_path):
+    """Satellite: --jobs 4 must be byte-identical to a serial run.
+
+    fig05 additionally shards per config under jobs>1, so this also proves
+    session-granularity merging reproduces the whole-experiment result.
+    """
+    ids = ["fig05", "fig21"]
+    serial = run_campaign(ids, scale=SMALL, jobs=1,
+                          store=ArtifactStore(tmp_path / "serial"),
+                          granularity="experiment")
+    parallel = run_campaign(ids, scale=SMALL, jobs=4,
+                            store=ArtifactStore(tmp_path / "parallel"))
+    for experiment_id in ids:
+        a = serial.results[experiment_id]
+        b = parallel.results[experiment_id]
+        assert json.dumps(a.checks, sort_keys=False) == json.dumps(
+            b.checks, sort_keys=False
+        )
+        assert a.to_dict() == b.to_dict()
+    # direct execution outside the campaign agrees too
+    direct = run_experiment("fig05", SMALL)
+    assert direct.to_dict() == parallel.results["fig05"].to_dict()
+
+
+def test_resume_skips_completed_artifacts(tmp_path):
+    """Satellite: a killed campaign resumes by skipping completed work."""
+    store = ArtifactStore(tmp_path / "store")
+    # campaign killed after K=2 artifacts: only the first two ran
+    first = run_campaign(["table1", "fig21"], scale=SMALL, store=store)
+    assert first.executed == 2
+
+    resumed = run_campaign(["table1", "fig21", "fig22", "fig13"],
+                           scale=SMALL, store=store)
+    assert resumed.cached == 2 and resumed.executed == 2
+    events = list(read_events(resumed.events_path))
+    hits = sorted(e.experiment_id for e in events if e.event == CACHE_HIT)
+    ran = sorted(e.experiment_id for e in events if e.event == TASK_FINISHED)
+    assert hits == ["fig21", "table1"]
+    assert ran == ["fig13", "fig22"]
+    # cached results are identical to the stored originals
+    assert (resumed.results["fig21"].to_dict()
+            == first.results["fig21"].to_dict())
+
+    # a third run is a full cache hit and touches nothing
+    full = run_campaign(["table1", "fig21", "fig22", "fig13"],
+                        scale=SMALL, store=store)
+    assert full.executed == 0 and full.cached == 4 and not full.failures
+
+
+def test_force_recomputes(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    run_campaign(["table1"], scale=SMALL, store=store)
+    forced = run_campaign(["table1"], scale=SMALL, store=store, force=True)
+    assert forced.executed == 1 and forced.cached == 0
+
+
+def test_scale_change_invalidates_cache(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    run_campaign(["table1"], scale=SMALL, store=store)
+    other = run_campaign(["table1"], scale=SMALL.with_overrides(row_step=7),
+                         store=store)
+    assert other.executed == 1 and other.cached == 0
+
+
+def test_unknown_experiment_rejected(tmp_path):
+    with pytest.raises(KeyError):
+        run_campaign(["fig99"], scale=SMALL,
+                     store=ArtifactStore(tmp_path / "store"))
+
+
+def _failing_runner(scale=None, **kwargs):
+    raise ValueError("synthetic failure")
+
+
+def test_failed_task_is_recorded_not_raised(tmp_path, monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "failing", _failing_runner)
+    store = ArtifactStore(tmp_path / "store")
+    summary = run_campaign(["failing", "table1"], scale=SMALL, store=store)
+    assert summary.failed == 1 and summary.executed == 1
+    assert "synthetic failure" in summary.failures["failing"]
+    assert "failing" not in summary.results and "table1" in summary.results
+    events = list(read_events(summary.events_path))
+    assert any(e.event == TASK_FAILED and e.experiment_id == "failing"
+               for e in events)
+    manifest = json.loads(summary.manifest_path.read_text())
+    statuses = {t["experiment_id"]: t["status"] for t in manifest["tasks"]}
+    assert statuses == {"failing": "failed", "table1": "executed"}
+
+
+def _crash_in_pool_runner(scale=None, **kwargs):
+    # kill pool workers outright (simulates OOM/segfault); survive when the
+    # runner falls back to in-process serial execution
+    if multiprocessing.current_process().name != "MainProcess":
+        os._exit(3)
+    return ExperimentResult("crashy", "synthetic crashy", checks={"ok": 1.0})
+
+
+@fork_only
+def test_worker_crash_retries_then_serial_fallback(tmp_path, monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "crashy", _crash_in_pool_runner)
+    store = ArtifactStore(tmp_path / "store")
+    runner = CampaignRunner(store=store, scale=SMALL, jobs=2,
+                            max_pool_restarts=1)
+    summary = runner.run(["crashy"])
+    assert summary.executed == 1 and not summary.failures
+    assert summary.results["crashy"].checks == {"ok": 1.0}
+    events = list(read_events(summary.events_path))
+    crashes = [e for e in events if e.event == WORKER_CRASHED]
+    # initial attempt + one restart both died before the serial fallback
+    assert len(crashes) >= 2
+    assert any(e.event == TASK_FINISHED and e.worker == "serial"
+               for e in events)

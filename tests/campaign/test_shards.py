@@ -1,0 +1,67 @@
+"""Task planning and shard merging."""
+
+import pytest
+
+from repro.campaign import (
+    ALL_CONFIGS,
+    SESSION_SHARDED,
+    merge_shard_results,
+    plan_tasks,
+)
+from repro.experiments import EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+
+
+def test_sharded_experiments_are_registered():
+    assert set(SESSION_SHARDED) <= set(EXPERIMENTS)
+    assert SESSION_SHARDED["table2"] == ALL_CONFIGS
+    # fig04/fig10 pool measurements across sessions; they must run whole
+    assert "fig04" not in SESSION_SHARDED
+    assert "fig10" not in SESSION_SHARDED
+
+
+def test_plan_tasks_granularities():
+    serial = plan_tasks(["fig04", "fig05"], granularity="auto", jobs=1)
+    assert [(t.experiment_id, t.shard) for t in serial] == [
+        ("fig04", None), ("fig05", None),
+    ]
+    parallel = plan_tasks(["fig04", "fig05"], granularity="auto", jobs=4)
+    assert [(t.experiment_id, t.shard) for t in parallel] == [
+        ("fig04", None)
+    ] + [("fig05", config) for config in SESSION_SHARDED["fig05"]]
+    forced = plan_tasks(["fig05"], granularity="session", jobs=1)
+    assert all(t.shard for t in forced)
+    whole = plan_tasks(["fig05"], granularity="experiment", jobs=8)
+    assert [(t.experiment_id, t.shard) for t in whole] == [("fig05", None)]
+    with pytest.raises(ValueError):
+        plan_tasks(["fig05"], granularity="bogus")
+
+
+def test_task_run_kwargs_inject_shard_config():
+    task = plan_tasks(["fig05"], granularity="session")[0]
+    assert task.run_kwargs() == {"config_ids": (task.shard,)}
+    whole = plan_tasks(["fig04"], granularity="session")[0]
+    assert whole.run_kwargs() == {}
+
+
+def test_merge_preserves_order_and_dedupes_notes():
+    parts = [
+        ExperimentResult("figXX", "title",
+                         rows=[{"vendor": "A", "v": 1}],
+                         checks={"check_A": 1.0},
+                         notes=["shared note"]),
+        ExperimentResult("figXX", "title",
+                         rows=[{"vendor": "B", "v": 2}],
+                         checks={"check_B": 2.0},
+                         notes=["shared note", "extra"]),
+    ]
+    merged = merge_shard_results("figXX", parts)
+    assert merged.title == "title"
+    assert [row["vendor"] for row in merged.rows] == ["A", "B"]
+    assert list(merged.checks) == ["check_A", "check_B"]
+    assert merged.notes == ["shared note", "extra"]
+
+
+def test_merge_rejects_empty():
+    with pytest.raises(ValueError):
+        merge_shard_results("figXX", [])

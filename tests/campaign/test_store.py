@@ -1,0 +1,90 @@
+"""Content-addressed artifact store."""
+
+import json
+
+import pytest
+
+from repro import ExperimentScale
+from repro.campaign import (
+    ArtifactStore,
+    code_fingerprint,
+    scale_fingerprint,
+)
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def _result():
+    return ExperimentResult(
+        "figXX",
+        "synthetic",
+        rows=[{"vendor": "SK Hynix", "min": 4.25, "count": 7, "na": None}],
+        checks={"ratio": 1.5, "count": 2.0},
+        notes=["a note"],
+    )
+
+
+def test_key_is_stable_and_content_addressed(store):
+    small = ExperimentScale.small()
+    key1 = store.key("fig04", small)
+    key2 = store.key("fig04", small)
+    assert key1 == key2 and key1.digest == key2.digest
+    assert key1.digest != store.key("fig05", small).digest
+    assert key1.digest != store.key("fig04", ExperimentScale.default()).digest
+    assert key1.digest != store.key("fig04", small, shard="hynix-a-8gb").digest
+
+
+def test_scale_fingerprint_tracks_every_knob():
+    small = ExperimentScale.small()
+    assert scale_fingerprint(small) == scale_fingerprint(ExperimentScale.small())
+    assert scale_fingerprint(small) != scale_fingerprint(
+        small.with_overrides(row_step=7)
+    )
+    assert scale_fingerprint(small) != scale_fingerprint(
+        small.with_overrides(subarrays=(0,))
+    )
+
+
+def test_put_get_roundtrip(store):
+    key = store.key("figXX", ExperimentScale.small())
+    assert store.get(key) is None and not store.has(key)
+    original = _result()
+    path = store.put(key, original, elapsed=1.25, worker="w1")
+    assert path.exists() and store.has(key)
+    fetched = store.get(key)
+    assert fetched.to_dict() == original.to_dict()
+    payload = store.get_payload(key)
+    assert payload["elapsed"] == 1.25
+    assert payload["worker"] == "w1"
+    assert payload["key"]["code_fp"] == code_fingerprint()
+
+
+def test_corrupt_artifact_is_a_miss(store):
+    key = store.key("figXX", ExperimentScale.small())
+    store.put(key, _result(), elapsed=0.1)
+    store.artifact_path(key).write_text("{truncated")
+    assert store.get(key) is None
+
+
+def test_prune_removes_stale_code_artifacts(store):
+    key = store.key("figXX", ExperimentScale.small())
+    store.put(key, _result(), elapsed=0.1)
+    # forge an artifact written by "older code"
+    stale_path = store.artifacts_dir / "zz" / "stale.json"
+    stale_path.parent.mkdir(parents=True)
+    payload = json.loads(store.artifact_path(key).read_text())
+    payload["key"]["code_fp"] = "0" * 16
+    stale_path.write_text(json.dumps(payload))
+    assert store.artifact_count() == 2
+    assert store.prune() == 1
+    assert store.artifact_count() == 1
+    assert store.get(key) is not None
+
+
+def test_default_root_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert ArtifactStore().root == tmp_path / "custom"

@@ -10,6 +10,25 @@ from repro import ExperimentScale, make_module
 from repro.core.session import CharacterizationSession
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the campaign artifact store away from the user's real cache.
+
+    Tests still exercise real store reads/writes; they just never touch
+    (or get polluted by) ``~/.cache/repro``.
+    """
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield cache_dir
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture(scope="session")
 def small_scale():
     return ExperimentScale.small()

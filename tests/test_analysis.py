@@ -1,14 +1,41 @@
 """Analysis helpers: report generation."""
 
+import pytest
+
 from repro import ExperimentScale
 from repro.analysis import generate_report
+from repro.campaign import ArtifactStore
 
 
-def test_report_renders_markdown():
+def test_report_renders_markdown(tmp_path):
     report = generate_report(
-        scale=ExperimentScale.small(), experiment_ids=["table1"]
+        scale=ExperimentScale.small(), experiment_ids=["table1"],
+        store=ArtifactStore(tmp_path / "store"),
     )
     assert report.startswith("# PuDHammer reproduction report")
     assert "## table1" in report
     assert "| vendor |" in report
     assert "total_chips" in report
+
+
+def test_report_is_identical_when_served_from_store(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    scale = ExperimentScale.small()
+    computed = generate_report(scale=scale, experiment_ids=["table1", "fig21"],
+                               store=store)
+    cached = generate_report(scale=scale, experiment_ids=["table1", "fig21"],
+                             store=store)
+    assert cached == computed
+
+
+def test_report_surfaces_experiment_failures(tmp_path, monkeypatch):
+    from repro.experiments import EXPERIMENTS
+
+    def boom(scale=None, **kwargs):
+        raise ValueError("broken experiment")
+
+    monkeypatch.setitem(EXPERIMENTS, "broken", boom)
+    with pytest.raises(RuntimeError, match="broken experiment"):
+        generate_report(scale=ExperimentScale.small(),
+                        experiment_ids=["broken"],
+                        store=ArtifactStore(tmp_path / "store"))

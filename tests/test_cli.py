@@ -31,3 +31,25 @@ def test_report_single_experiment(capsys):
     out = capsys.readouterr().out
     assert out.startswith("# PuDHammer reproduction report")
     assert "## table1" in out
+
+
+def test_campaign_runs_and_resumes(tmp_path, capsys):
+    store_args = ["--scale", "small", "--output", str(tmp_path / "store")]
+    assert main(["campaign", "table1", "fig21", "--jobs", "2", *store_args]) == 0
+    out = capsys.readouterr().out
+    assert "2 executed, 0 cached" in out
+    assert "manifest:" in out and "events:" in out
+    assert (tmp_path / "store" / "artifacts").is_dir()
+    # identical invocation is served entirely from the store
+    assert main(["campaign", "table1", "fig21", "--jobs", "2", *store_args]) == 0
+    assert "0 executed, 2 cached" in capsys.readouterr().out
+
+
+def test_report_served_from_campaign_store(tmp_path, capsys):
+    store_args = ["--scale", "small", "--output", str(tmp_path / "store")]
+    assert main(["campaign", "table1", *store_args]) == 0
+    capsys.readouterr()
+    assert main(["report", "table1", *store_args]) == 0
+    captured = capsys.readouterr()
+    assert "## table1" in captured.out
+    assert "table1 cached" in captured.err
