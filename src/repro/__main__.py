@@ -9,6 +9,8 @@ Subcommands:
   event log, resumable
 * ``report [ids...]``           -- emit a markdown report served from the
   campaign store (computes only what is missing)
+* ``attack``                    -- synthesize TRR-aware PuD attacks and run
+  the mitigation gauntlet (through the campaign store, resumable)
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from .core.scale import ExperimentScale
 from .experiments import EXPERIMENTS, run_experiment
 
 _SCALES = {
+    "smoke": ExperimentScale.smoke,
     "small": ExperimentScale.small,
     "default": ExperimentScale.default,
     "paper": ExperimentScale.paper,
@@ -50,6 +53,61 @@ def _store_args(parser: argparse.ArgumentParser) -> None:
         "--force", action="store_true",
         help="recompute even when a cached artifact exists",
     )
+
+
+def _run_attack(parser: argparse.ArgumentParser, args) -> int:
+    from .attack import MITIGATIONS
+    from .campaign.shards import ALL_CONFIGS
+
+    scale = _SCALES[args.scale]()
+    unknown = [c for c in args.configs or [] if c not in ALL_CONFIGS]
+    if unknown:
+        parser.error(
+            f"unknown configs: {', '.join(unknown)} "
+            f"(known: {', '.join(ALL_CONFIGS)})"
+        )
+    unknown = [m for m in args.mitigations or [] if m not in MITIGATIONS]
+    if unknown:
+        parser.error(
+            f"unknown mitigations: {', '.join(unknown)} "
+            f"(known: {', '.join(MITIGATIONS)})"
+        )
+
+    if args.mitigations or args.attacks:
+        # a hand-picked slice of the matrix is exploratory: run it directly
+        # and skip the store, whose keys only describe full-matrix cells
+        result = run_experiment(
+            "attack_surface",
+            scale,
+            config_ids=args.configs,
+            mitigations=args.mitigations,
+            attacks=args.attacks,
+        )
+        result.print()
+        return 0
+
+    runner = CampaignRunner(
+        store=ArtifactStore(args.output),
+        scale=scale,
+        jobs=args.jobs,
+        granularity="session",
+        force=args.force,
+        stream=None if args.quiet else sys.stderr,
+        shard_filter=args.configs,
+    )
+    summary = runner.run(["attack_surface"])
+    result = summary.results.get("attack_surface")
+    if result is not None:
+        result.print()
+    print(
+        f"campaign {summary.run_id}: "
+        f"{summary.executed} executed, {summary.cached} cached, "
+        f"{summary.failed} failed in {summary.total_elapsed:.1f}s"
+    )
+    print(f"artifacts: {runner.store.root}")
+    for experiment_id, error in summary.failures.items():
+        print(f"FAILED {experiment_id}: {error}", file=sys.stderr)
+    return 1 if summary.failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,6 +149,30 @@ def main(argv: list[str] | None = None) -> int:
     _scale_arg(report_parser)
     _store_args(report_parser)
 
+    attack_parser = subcommands.add_parser(
+        "attack",
+        help="synthesize TRR-aware PuD attacks and run the mitigation gauntlet",
+    )
+    attack_parser.add_argument(
+        "--configs", nargs="+", metavar="ID", default=None,
+        help="module configurations to attack (default: one per vendor)",
+    )
+    attack_parser.add_argument(
+        "--mitigations", nargs="+", metavar="NAME", default=None,
+        help="mitigation subset (default: the scale preset's matrix); "
+             "bypasses the campaign store",
+    )
+    attack_parser.add_argument(
+        "--attacks", nargs="+", metavar="NAME", default=None,
+        help="attack subset by synthesized name (e.g. sync-comra); "
+             "bypasses the campaign store",
+    )
+    _scale_arg(attack_parser)
+    _store_args(attack_parser)
+    attack_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress events"
+    )
+
     args = parser.parse_args(argv)
     if args.command in ("campaign", "report"):
         unknown = [i for i in args.experiment_ids or [] if i not in EXPERIMENTS]
@@ -128,6 +210,8 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id, error in summary.failures.items():
             print(f"FAILED {experiment_id}: {error}", file=sys.stderr)
         return 1 if summary.failures else 0
+    if args.command == "attack":
+        return _run_attack(parser, args)
     if args.command == "report":
         report = generate_report(
             scale=_SCALES[args.scale](),

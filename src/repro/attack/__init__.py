@@ -1,0 +1,49 @@
+"""End-to-end PuD attack synthesis and mitigation-gauntlet evaluation.
+
+Closes the loop from characterization to security evaluation:
+
+* :mod:`repro.attack.synthesis` -- searches refresh-synchronized,
+  TRR-aware hammer schedules composing CoMRA/SiMRA primitives;
+* :mod:`repro.attack.mitigations` -- the defense matrix (sampling TRR,
+  PRAC variants, §8.1 countermeasure policies) as bank hooks and
+  admission checks;
+* :mod:`repro.attack.gauntlet` -- runs every synthesized attack against
+  every mitigation through the DRAM Bender pipeline and scores
+  exploitability.
+"""
+
+from .gauntlet import CellResult, run_cell, run_gauntlet
+from .mitigations import (
+    MITIGATIONS,
+    PracHook,
+    WeightedSamplingTrr,
+    build_hook,
+    policy_rejection,
+)
+from .synthesis import (
+    MAX_POSTPONED_REFS,
+    TECHNIQUES,
+    AttackSpec,
+    expected_aggressor_samples,
+    schedule_score,
+    synthesize_attacks,
+    synthesize_schedule,
+)
+
+__all__ = [
+    "AttackSpec",
+    "CellResult",
+    "MAX_POSTPONED_REFS",
+    "MITIGATIONS",
+    "PracHook",
+    "TECHNIQUES",
+    "WeightedSamplingTrr",
+    "build_hook",
+    "expected_aggressor_samples",
+    "policy_rejection",
+    "run_cell",
+    "run_gauntlet",
+    "schedule_score",
+    "synthesize_attacks",
+    "synthesize_schedule",
+]

@@ -41,11 +41,14 @@ from .shards import (
     plan_tasks,
 )
 from .store import (
+    CORE_SUBSYSTEMS,
+    EXPERIMENT_SUBSYSTEM_DEPS,
     ArtifactKey,
     ArtifactStore,
     code_fingerprint,
     default_root,
     scale_fingerprint,
+    subsystem_fingerprint,
 )
 
 __all__ = [
@@ -56,8 +59,10 @@ __all__ = [
     "CAMPAIGN_FINISHED",
     "CAMPAIGN_STARTED",
     "CampaignEvent",
+    "CORE_SUBSYSTEMS",
     "CampaignRunner",
     "CampaignSummary",
+    "EXPERIMENT_SUBSYSTEM_DEPS",
     "EventLog",
     "GRANULARITIES",
     "SESSION_SHARDED",
@@ -75,4 +80,5 @@ __all__ = [
     "render_event",
     "run_campaign",
     "scale_fingerprint",
+    "subsystem_fingerprint",
 ]

@@ -41,7 +41,7 @@ from .events import (
     CampaignEvent,
     EventLog,
 )
-from .shards import Task, merge_shard_results, plan_tasks
+from .shards import SESSION_SHARDED, Task, merge_shard_results, plan_tasks
 from .store import ArtifactStore, code_fingerprint, scale_fingerprint
 
 
@@ -107,6 +107,7 @@ class CampaignRunner:
         max_pool_restarts: int = 2,
         stream: Optional[IO] = None,
         run_id: Optional[str] = None,
+        shard_filter: Optional[Sequence[str]] = None,
     ):
         self.store = store if store is not None else ArtifactStore()
         self.scale = scale or ExperimentScale.default()
@@ -115,6 +116,7 @@ class CampaignRunner:
         self.force = force
         self.max_pool_restarts = max_pool_restarts
         self.stream = stream
+        self.shard_filter = tuple(shard_filter) if shard_filter else None
         self.run_id = run_id or time.strftime("%Y%m%dT%H%M%S") + "-" + uuid.uuid4().hex[:6]
 
     # ------------------------------------------------------------------
@@ -125,7 +127,8 @@ class CampaignRunner:
             raise KeyError(
                 f"unknown experiments {unknown}; known: {sorted(EXPERIMENTS)}"
             )
-        tasks = plan_tasks(ids, self.granularity, self.jobs)
+        tasks = plan_tasks(ids, self.granularity, self.jobs,
+                           shard_filter=self.shard_filter)
         summary = CampaignSummary(
             run_id=self.run_id,
             run_dir=self.store.runs_dir / self.run_id,
@@ -308,6 +311,12 @@ class CampaignRunner:
             summary.results[experiment_id] = merged
             # publish the merged result under the whole-experiment key too,
             # so experiment-granularity consumers (report, `repro run`) hit
+            # -- but only when the shards cover the experiment's full
+            # declared set: a shard-filtered partial run must never
+            # masquerade as the whole result
+            shards = tuple(t.shard for t in experiment_tasks)
+            if shards != SESSION_SHARDED.get(experiment_id):
+                continue
             whole_key = self.store.key(experiment_id, self.scale)
             if self.force or not self.store.has(whole_key):
                 self.store.put(whole_key, merged,
@@ -358,8 +367,10 @@ def run_campaign(
     granularity: str = "auto",
     force: bool = False,
     stream: Optional[IO] = None,
+    shard_filter: Optional[Sequence[str]] = None,
 ) -> CampaignSummary:
     """One-call convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(store=store, scale=scale, jobs=jobs,
-                            granularity=granularity, force=force, stream=stream)
+                            granularity=granularity, force=force, stream=stream,
+                            shard_filter=shard_filter)
     return runner.run(experiment_ids)

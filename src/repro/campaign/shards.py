@@ -14,7 +14,7 @@ distribution, fig10's direction-reversal pool) are deliberately absent from
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..disturbance.calibration import MODULE_CALIBRATIONS
 from ..experiments.base import REPRESENTATIVE_CONFIGS, ExperimentResult
@@ -33,6 +33,7 @@ SESSION_SHARDED: dict[str, tuple[str, ...]] = {
     "fig08": REPRESENTATIVE_CONFIGS,
     "fig09": REPRESENTATIVE_CONFIGS,
     "fig11": REPRESENTATIVE_CONFIGS,
+    "attack_surface": REPRESENTATIVE_CONFIGS,
 }
 
 GRANULARITIES = ("auto", "experiment", "session")
@@ -60,7 +61,10 @@ class Task:
 
 
 def plan_tasks(
-    experiment_ids: list[str], granularity: str = "auto", jobs: int = 1
+    experiment_ids: list[str],
+    granularity: str = "auto",
+    jobs: int = 1,
+    shard_filter: Optional[Sequence[str]] = None,
 ) -> list[Task]:
     """Expand experiment ids into schedulable tasks.
 
@@ -69,6 +73,12 @@ def plan_tasks(
     when more than one worker is available (sharding costs nothing in
     results but adds per-task session setup, so it only pays off when it
     buys parallelism).
+
+    ``shard_filter`` restricts shardable experiments to the listed shard
+    labels (and forces sharding for them, regardless of granularity), so a
+    caller can run e.g. one config's slice of the attack gauntlet.  A
+    filter that matches none of an experiment's shards is an error;
+    experiments that are not shardable ignore the filter and run whole.
     """
     if granularity not in GRANULARITIES:
         raise ValueError(
@@ -78,7 +88,15 @@ def plan_tasks(
     tasks: list[Task] = []
     for experiment_id in experiment_ids:
         configs = SESSION_SHARDED.get(experiment_id)
-        if shard and configs:
+        if configs and shard_filter is not None:
+            chosen = tuple(c for c in configs if c in shard_filter)
+            if not chosen:
+                raise ValueError(
+                    f"shard filter {tuple(shard_filter)} matches no shard of "
+                    f"{experiment_id!r}; known shards: {configs}"
+                )
+            tasks.extend(Task(experiment_id, shard=c) for c in chosen)
+        elif shard and configs:
             tasks.extend(
                 Task(experiment_id, shard=config) for config in configs
             )

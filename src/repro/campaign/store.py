@@ -42,13 +42,81 @@ def scale_fingerprint(scale: ExperimentScale) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
-@lru_cache(maxsize=1)
-def code_fingerprint() -> str:
-    """Hex digest over the source of the ``repro`` package.
+#: subpackages every experiment's execution flows through; always part of a
+#: scoped fingerprint
+CORE_SUBSYSTEMS = (
+    "bender",
+    "campaign",
+    "core",
+    "disturbance",
+    "dram",
+    "experiments",
+)
 
-    Any edit to any ``.py`` file under ``src/repro`` changes the
-    fingerprint, so stale artifacts from older code can never be served.
+#: extra subpackages specific experiments execute: editing one of these
+#: must invalidate the listed experiments' artifacts (and, thanks to the
+#: scoping, *only* theirs).  fig24 attaches ``repro.trr``; fig25 simulates
+#: through ``repro.memsys`` (which pulls mitigations + workloads); the
+#: attack gauntlet exercises synthesis, the mitigation hooks and the TRR.
+EXPERIMENT_SUBSYSTEM_DEPS: dict[str, tuple[str, ...]] = {
+    "fig24": ("trr",),
+    "fig25": ("memsys", "mitigations", "workloads"),
+    "attack_surface": ("attack", "mitigations", "trr"),
+}
+
+
+@lru_cache(maxsize=None)
+def subsystem_fingerprint(name: str) -> str:
+    """Digest of one ``repro`` subpackage's sources.
+
+    ``name=""`` digests only the package's top-level modules (no
+    subdirectories); any other name digests ``src/repro/<name>``
+    recursively.
     """
+    package_root = Path(__file__).resolve().parent.parent
+    if name:
+        paths = sorted((package_root / name).rglob("*.py"))
+    else:
+        paths = sorted(package_root.glob("*.py"))
+    digest = hashlib.sha256()
+    for path in paths:
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@lru_cache(maxsize=None)
+def code_fingerprint(experiment_id: Optional[str] = None) -> str:
+    """Hex digest over the sources the given experiment can execute.
+
+    For a registered experiment the digest is scoped: top-level modules,
+    the :data:`CORE_SUBSYSTEMS`, and the experiment's declared
+    :data:`EXPERIMENT_SUBSYSTEM_DEPS`.  Editing an unrelated subsystem
+    (say, ``repro.reveng``) then leaves the experiment's artifacts valid
+    instead of invalidating the whole store.
+
+    With no ``experiment_id`` -- or an id the registry does not know,
+    where no dependency claim can be trusted -- the digest covers every
+    ``.py`` file under ``src/repro``, so stale artifacts from older code
+    can never be served.
+    """
+    if experiment_id is not None:
+        from ..experiments import EXPERIMENTS
+
+        if experiment_id in EXPERIMENTS:
+            subsystems = sorted(
+                set(CORE_SUBSYSTEMS)
+                | set(EXPERIMENT_SUBSYSTEM_DEPS.get(experiment_id, ()))
+            )
+            digest = hashlib.sha256()
+            digest.update(subsystem_fingerprint("").encode())
+            for name in subsystems:
+                digest.update(name.encode())
+                digest.update(b"\0")
+                digest.update(subsystem_fingerprint(name).encode())
+            return digest.hexdigest()[:16]
     package_root = Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()
     for path in sorted(package_root.rglob("*.py")):
@@ -115,7 +183,7 @@ class ArtifactStore:
         return ArtifactKey(
             experiment_id=experiment_id,
             scale_fp=scale_fingerprint(scale),
-            code_fp=code_fingerprint(),
+            code_fp=code_fingerprint(experiment_id),
             shard=shard,
         )
 
@@ -195,9 +263,10 @@ class ArtifactStore:
         """Delete artifacts not reachable from the current code fingerprint.
 
         Returns the number of files removed.  Useful after a code change
-        has orphaned old artifacts.
+        has orphaned old artifacts.  Each artifact is checked against the
+        fingerprint scoped to *its* experiment, matching what
+        :meth:`key` would compute for it today.
         """
-        current = code_fingerprint()
         removed = 0
         if not self.artifacts_dir.exists():
             return 0
@@ -208,7 +277,9 @@ class ArtifactStore:
                 path.unlink(missing_ok=True)
                 removed += 1
                 continue
-            if payload.get("key", {}).get("code_fp") != current:
+            key = payload.get("key", {})
+            expected = code_fingerprint(key.get("experiment_id"))
+            if key.get("code_fp") != expected:
                 path.unlink(missing_ok=True)
                 removed += 1
         return removed

@@ -35,12 +35,40 @@ class ExperimentScale:
     #: hammers per §7 TRR test (paper: 500K per aggressor; the default
     #: targets the weakest victims, so a smaller budget shows the effect)
     trr_hammers: int = 120_000
+    #: ACT-command budget per attack-gauntlet cell (the attacker's cost cap)
+    attack_acts: int = 120_000
+    #: mitigation matrix the attack gauntlet evaluates (names resolved by
+    #: ``repro.attack.mitigations.build_hook``)
+    attack_mitigations: tuple[str, ...] = (
+        "none",
+        "sampling-trr",
+        "weighted-trr",
+        "prac-po-naive",
+        "prac-po-wc",
+        "prac-ao-wc",
+        "compute-region",
+        "clustered-decoder",
+    )
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """Single-cell-grade run for CI smoke checks: one subarray, a
+        reduced mitigation matrix, and the smallest ACT budget at which the
+        synthesized TRR-aware CoMRA attack still flips its sentinel victim
+        with comfortable margin."""
+        return cls(
+            subarrays=(0,), row_step=37, simra_groups=1,
+            trr_hammers=20_000, attack_acts=24_960,
+            attack_mitigations=(
+                "none", "sampling-trr", "prac-po-wc", "compute-region",
+            ),
+        )
 
     @classmethod
     def small(cls) -> "ExperimentScale":
         """Smallest meaningful run, used by unit/integration tests."""
         return cls(subarrays=(0, 2), row_step=23, simra_groups=2,
-                   trr_hammers=40_000)
+                   trr_hammers=40_000, attack_acts=60_000)
 
     @classmethod
     def default(cls) -> "ExperimentScale":
@@ -58,6 +86,7 @@ class ExperimentScale:
             simra_groups=100,
             wcdp_mode="measured",
             trr_hammers=500_000,
+            attack_acts=500_000,
         )
 
     def with_overrides(self, **overrides) -> "ExperimentScale":

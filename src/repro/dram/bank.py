@@ -21,7 +21,7 @@ experiment driver) pass absolute nanosecond timestamps.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -35,7 +35,13 @@ from .timing import TimingParams
 
 
 class TrrHook(Protocol):
-    """Interface an in-DRAM TRR mechanism exposes to the bank."""
+    """Interface an in-DRAM TRR mechanism exposes to the bank.
+
+    Hooks may optionally define ``on_event(bank, event, times)``; the bank
+    then feeds them every completed
+    :class:`~repro.dram.commands.ActivationEvent`, exposing the actual
+    activated row group (which the command bus hides for SiMRA).
+    """
 
     def on_act(self, bank: int, row: int, now_ns: float) -> None:
         """Observe an ACT command (the sampler sees only command traffic)."""
@@ -449,6 +455,18 @@ class Bank:
             self._frac.discard(target)
             self.model.restore_row(self.index, target)
 
+    def targeted_refresh(self, aggressors: Sequence[int], now_ns: float) -> None:
+        """Preventively refresh the distance-1/2 neighborhoods of rows.
+
+        This is the victim set both a TRR targeted refresh and a PRAC RFM
+        cover; mitigation hooks call it directly when they must act between
+        REF commands (e.g. PRAC back-off serviced mid-tREFI).
+        """
+        for aggressor in aggressors:
+            for distance in (1, 2):
+                for victim in self.geometry.neighbors(aggressor, distance):
+                    self._restore_row(victim, now_ns)
+
     def ref(self, now_ns: float) -> None:
         """Periodic refresh: TRR hook first, then the regular rotor."""
         self.stats["refs"] += 1
@@ -456,10 +474,7 @@ class Bank:
             raise TimingError("REF with open row; precharge first")
         self._flush_pending_event(now_ns)
         if self.trr is not None:
-            for aggressor in self.trr.on_ref(self.index, now_ns):
-                for distance in (1, 2):
-                    for victim in self.geometry.neighbors(aggressor, distance):
-                        self._restore_row(victim, now_ns)
+            self.targeted_refresh(self.trr.on_ref(self.index, now_ns), now_ns)
         refs_per_window = max(1, round(self.timing.tREFW / self.timing.tREFI))
         self._refresh_accumulator += self.geometry.rows_per_bank / refs_per_window
         while self._refresh_accumulator >= 1.0:
@@ -550,6 +565,13 @@ class Bank:
             aggressor_pattern=aggressor_pattern,
             times=pending.times,
         )
+        # Event-level mitigation hook: counters that must see the *actual*
+        # activated row group (a SiMRA op shows only two ACT commands on
+        # the bus but activates up to 32 rows) subscribe here.
+        if self.trr is not None:
+            on_event = getattr(self.trr, "on_event", None)
+            if on_event is not None:
+                on_event(self.index, event, pending.times)
 
     def flush(self, now_ns: float) -> None:
         """End-of-program: emit any session still held back."""

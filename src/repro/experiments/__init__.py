@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..core.scale import ExperimentScale
+from .attack_surface import run_attack_surface
 from .base import ExperimentResult
 from .combined import run_fig21, run_fig22, run_fig23
 from .comra import (
@@ -57,6 +58,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig23": run_fig23,
     "fig24": run_fig24,
     "fig25": run_fig25,
+    "attack_surface": run_attack_surface,
 }
 
 
@@ -76,6 +78,7 @@ def run_experiment(
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
+    "run_attack_surface",
     "run_experiment",
     "run_fig04",
     "run_fig05",

@@ -1,0 +1,97 @@
+"""Attack-surface experiment: the synthesized-attack mitigation gauntlet.
+
+Extends the Fig. 24 / Table 4 direction from "does TRR reduce flips" to a
+full security evaluation: for each vendor's representative module the
+synthesis engine builds the attack portfolio (naive and TRR-synchronized
+RowHammer, synchronized CoMRA, and -- where supported -- synchronized
+SiMRA), and the gauntlet runs every attack against the scale's mitigation
+matrix under a fixed ACT budget.  Each cell reports exploitability
+metrics: time/hammers to the first bitflip, flips per refresh window, and
+attack cost in ACTs per flip.
+
+The headline checks encode the paper's security story: on the SK Hynix
+module the TRR-aware synthesized CoMRA attack must induce bitflips *with
+the sampling TRR enabled*, while naive double-sided RowHammer at the same
+ACT budget must not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..attack import run_gauntlet
+from ..core.scale import ExperimentScale
+from .base import REPRESENTATIVE_CONFIGS, ExperimentResult
+
+#: the demonstration pair the headline checks are computed over
+BYPASS_ATTACK = "sync-comra"
+NAIVE_ATTACK = "naive-rowhammer"
+TARGET_MITIGATION = "sampling-trr"
+
+
+def run_attack_surface(
+    scale: Optional[ExperimentScale] = None,
+    config_ids: Optional[Sequence[str]] = None,
+    mitigations: Optional[Sequence[str]] = None,
+    attacks: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Synthesized PuD attacks vs. the mitigation matrix, per vendor."""
+    scale = scale or ExperimentScale.default()
+    configs = tuple(config_ids) if config_ids else REPRESENTATIVE_CONFIGS
+    matrix = (
+        tuple(mitigations) if mitigations is not None
+        else tuple(scale.attack_mitigations)
+    )
+    result = ExperimentResult(
+        "attack_surface",
+        "Synthesized PuD attacks vs. mitigation gauntlet (Fig. 24 / Table 4 direction)",
+    )
+
+    flips_at: dict[tuple[str, str, str], int] = {}
+    blocked_at: dict[tuple[str, str, str], bool] = {}
+    for config_id in configs:
+        cells = run_gauntlet(
+            config_id,
+            scale.attack_acts,
+            mitigations=matrix,
+            attacks=attacks,
+        )
+        for cell in cells:
+            result.rows.append(cell.to_row())
+            key = (config_id, cell.attack, cell.mitigation)
+            flips_at[key] = cell.flips
+            blocked_at[key] = cell.blocked
+
+    for config_id in configs:
+        bypass = flips_at.get((config_id, BYPASS_ATTACK, TARGET_MITIGATION))
+        naive = flips_at.get((config_id, NAIVE_ATTACK, TARGET_MITIGATION))
+        if bypass is not None:
+            result.checks[f"{config_id}_bypass_flips"] = float(bypass)
+        if naive is not None:
+            result.checks[f"{config_id}_naive_rh_trr_flips"] = float(naive)
+        holding = 0
+        for mitigation in matrix:
+            if mitigation in ("none", TARGET_MITIGATION):
+                continue
+            keys = [
+                key
+                for key in flips_at
+                if key[0] == config_id and key[2] == mitigation
+            ]
+            if keys and all(
+                blocked_at[key] or flips_at[key] == 0 for key in keys
+            ):
+                holding += 1
+        result.checks[f"{config_id}_mitigations_holding"] = float(holding)
+
+    result.notes.append(
+        "bypass_flips > 0 with naive_rh_trr_flips == 0 reproduces §7's "
+        "conclusion: refresh-synchronized PuD schedules defeat the sampling "
+        "TRR at an ACT budget where naive RowHammer is fully mitigated"
+    )
+    result.notes.append(
+        "mitigations_holding counts non-baseline mitigations with zero "
+        "flips across the portfolio (admission blocks count as holding); "
+        "§8's PRAC-WC variants and the §8.1 policies are expected to hold"
+    )
+    return result

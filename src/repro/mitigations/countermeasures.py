@@ -41,13 +41,24 @@ class ComputeRegionPolicy:
     subarray_rows: int = 1024
     compute_rows: int = 32
     refresh_interval_ops: int = 20
-    _op_counter: int = 0
-    _refresh_cursor: int = 0
+    _op_counter: int = field(default=0, init=False, repr=False)
+    _refresh_cursor: int = field(default=0, init=False, repr=False)
     stats: dict = field(default_factory=lambda: {"ops": 0, "refreshes": 0})
 
     def __post_init__(self) -> None:
         if not 0 < self.compute_rows < self.subarray_rows:
             raise AddressError("compute region must be a proper subset")
+
+    def reset(self) -> None:
+        """Return to the freshly-constructed state.
+
+        The gauntlet reuses one policy instance across cells; without a
+        reset the op counter and refresh cursor would leak accounting from
+        one evaluated attack into the next.
+        """
+        self._op_counter = 0
+        self._refresh_cursor = 0
+        self.stats = {"ops": 0, "refreshes": 0}
 
     @property
     def compute_region(self) -> range:
@@ -115,6 +126,9 @@ class WeightedContributionPolicy:
     hc_comra: int = LOWEST_HC_COMRA
     hc_simra: int = LOWEST_HC_SIMRA
 
+    def reset(self) -> None:
+        """No per-run state; present for policy-interface uniformity."""
+
     @property
     def comra_weight(self) -> int:
         return max(1, self.hc_rowhammer // self.hc_comra)
@@ -151,6 +165,9 @@ class ClusteredActivationDecoder:
     """
 
     group_sizes: tuple[int, ...] = (2, 4, 8, 16, 32)
+
+    def reset(self) -> None:
+        """No per-run state; present for policy-interface uniformity."""
 
     def group_for(self, row: int, n_rows: int) -> tuple[int, ...]:
         """The contiguous aligned group containing ``row``."""

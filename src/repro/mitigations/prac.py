@@ -162,13 +162,14 @@ class PracCounters:
     def back_off_pending(self) -> Optional[BackOffEvent]:
         return self._pending_backoff
 
-    def record(self, rows: Sequence[int], op: OpClass) -> float:
-        """Account one operation touching ``rows``.
+    def record(self, rows: Sequence[int], op: OpClass, times: int = 1) -> float:
+        """Account ``times`` repetitions of one operation touching ``rows``.
 
         Returns the extra bank-blocking latency of the counter update
-        (zero for parallel organizations).
+        (zero for parallel organizations; one update's worth -- the
+        repetitions share the already-open counter word).
         """
-        weight = self.config.weight_for(op)
+        weight = self.config.weight_for(op) * max(1, int(times))
         hottest_row = -1
         hottest = -1
         for row in rows:

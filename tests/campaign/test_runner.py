@@ -166,3 +166,51 @@ def test_worker_crash_retries_then_serial_fallback(tmp_path, monkeypatch):
     assert len(crashes) >= 2
     assert any(e.event == TASK_FINISHED and e.worker == "serial"
                for e in events)
+
+
+SMOKE = ExperimentScale.smoke()
+
+
+def test_attack_gauntlet_parallel_matches_serial_byte_identical(tmp_path):
+    """Acceptance: the gauntlet matrix (4 vendors at smoke scale) must be
+    byte-identical between --jobs 1 and --jobs 4 campaign runs."""
+    serial = run_campaign(["attack_surface"], scale=SMOKE, jobs=1,
+                          store=ArtifactStore(tmp_path / "serial"),
+                          granularity="session")
+    parallel = run_campaign(["attack_surface"], scale=SMOKE, jobs=4,
+                            store=ArtifactStore(tmp_path / "parallel"),
+                            granularity="session")
+    a = serial.results["attack_surface"]
+    b = parallel.results["attack_surface"]
+    assert json.dumps(a.to_dict(), sort_keys=False) == json.dumps(
+        b.to_dict(), sort_keys=False
+    )
+    # the merged result is published under the whole-experiment key
+    whole = ArtifactStore(tmp_path / "serial").key("attack_surface", SMOKE)
+    assert ArtifactStore(tmp_path / "serial").get(whole).to_dict() == a.to_dict()
+
+
+def test_shard_filter_limits_and_forces_sharding(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    runner = CampaignRunner(store=store, scale=SMOKE, jobs=1,
+                            granularity="session",
+                            shard_filter=("hynix-a-8gb",))
+    summary = runner.run(["attack_surface"])
+    assert summary.executed == 1 and not summary.failures
+    result = summary.results["attack_surface"]
+    assert {row["config"] for row in result.rows} == {"hynix-a-8gb"}
+    # a partial (filtered) run must NOT publish the whole-experiment key
+    assert not store.has(store.key("attack_surface", SMOKE))
+    # but the shard artifact is stored and resumable
+    assert store.has(store.key("attack_surface", SMOKE, shard="hynix-a-8gb"))
+    resumed = CampaignRunner(store=store, scale=SMOKE, jobs=1,
+                             granularity="session",
+                             shard_filter=("hynix-a-8gb",)).run(["attack_surface"])
+    assert resumed.cached == 1 and resumed.executed == 0
+
+
+def test_shard_filter_with_no_match_is_an_error(tmp_path):
+    runner = CampaignRunner(store=ArtifactStore(tmp_path / "store"),
+                            scale=SMOKE, shard_filter=("no-such-config",))
+    with pytest.raises(ValueError):
+        runner.run(["attack_surface"])

@@ -6,9 +6,11 @@ import pytest
 
 from repro import ExperimentScale
 from repro.campaign import (
+    EXPERIMENT_SUBSYSTEM_DEPS,
     ArtifactStore,
     code_fingerprint,
     scale_fingerprint,
+    subsystem_fingerprint,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -88,3 +90,47 @@ def test_prune_removes_stale_code_artifacts(store):
 def test_default_root_honours_env(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
     assert ArtifactStore().root == tmp_path / "custom"
+
+
+class TestScopedFingerprints:
+    """Satellite: code fingerprints are scoped per experiment's subsystems."""
+
+    def test_unknown_experiment_falls_back_to_whole_package(self):
+        assert code_fingerprint("figXX") == code_fingerprint()
+        assert code_fingerprint(None) == code_fingerprint()
+
+    def test_registered_experiments_get_scoped_fingerprints(self):
+        # fig24 digests repro.trr, fig04 does not: different fingerprints
+        assert code_fingerprint("fig24") != code_fingerprint("fig04")
+        # attack_surface additionally digests attack + mitigations
+        assert code_fingerprint("attack_surface") != code_fingerprint("fig24")
+        # experiments with identical dependency sets share a fingerprint
+        assert code_fingerprint("fig04") == code_fingerprint("fig05")
+
+    def test_declared_deps_cover_the_mitigation_subsystems(self):
+        # the ISSUE's satellite: mitigations + trr sources must key the
+        # artifacts of the experiments that execute them
+        assert "trr" in EXPERIMENT_SUBSYSTEM_DEPS["fig24"]
+        assert "mitigations" in EXPERIMENT_SUBSYSTEM_DEPS["fig25"]
+        assert {"attack", "mitigations", "trr"} <= set(
+            EXPERIMENT_SUBSYSTEM_DEPS["attack_surface"]
+        )
+
+    def test_store_key_uses_scoped_fingerprint(self, store):
+        small = ExperimentScale.small()
+        assert store.key("fig24", small).code_fp == code_fingerprint("fig24")
+        assert store.key("attack_surface", small).code_fp == code_fingerprint(
+            "attack_surface"
+        )
+
+    def test_subsystem_fingerprints_are_distinct(self):
+        names = ["", "trr", "mitigations", "attack", "dram"]
+        digests = [subsystem_fingerprint(n) for n in names]
+        assert len(set(digests)) == len(digests)
+
+    def test_prune_respects_scoped_keys(self, store):
+        small = ExperimentScale.small()
+        key = store.key("fig24", small)
+        store.put(key, ExperimentResult("fig24", "t"), elapsed=0.1)
+        assert store.prune() == 0  # scoped artifact is current, not stale
+        assert store.get(key) is not None

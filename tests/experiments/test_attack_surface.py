@@ -1,0 +1,52 @@
+"""attack_surface experiment: registration, checks, scaling."""
+
+from repro.core.scale import ExperimentScale
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.attack_surface import run_attack_surface
+
+SMOKE = ExperimentScale.smoke()
+
+
+def test_registered_in_registry():
+    assert EXPERIMENTS["attack_surface"] is run_attack_surface
+
+
+def test_hynix_smoke_reproduces_security_story():
+    result = run_experiment(
+        "attack_surface", SMOKE, config_ids=("hynix-a-8gb",)
+    )
+    # the headline claim: synthesized TRR-aware CoMRA flips with the
+    # sampling TRR enabled, naive RowHammer at the same budget does not
+    assert result.checks["hynix-a-8gb_bypass_flips"] > 0
+    assert result.checks["hynix-a-8gb_naive_rh_trr_flips"] == 0
+    # smoke matrix: 4 attacks (SiMRA-capable module) x 4 mitigations
+    assert len(result.rows) == 4 * len(SMOKE.attack_mitigations)
+    # prac-po-wc and compute-region both hold across the portfolio
+    assert result.checks["hynix-a-8gb_mitigations_holding"] == 2
+
+
+def test_mitigation_and_attack_subsets():
+    result = run_attack_surface(
+        scale=SMOKE,
+        config_ids=("hynix-a-8gb",),
+        mitigations=("sampling-trr",),
+        attacks=("sync-comra",),
+    )
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    assert row["attack"] == "sync-comra"
+    assert row["mitigation"] == "sampling-trr"
+    assert result.checks["hynix-a-8gb_bypass_flips"] > 0
+    # the naive baseline was filtered out, so its check is absent
+    assert "hynix-a-8gb_naive_rh_trr_flips" not in result.checks
+
+
+def test_non_simra_vendor_runs_reduced_portfolio():
+    result = run_attack_surface(
+        scale=SMOKE,
+        config_ids=("nanya-c-8gb",),
+        mitigations=("none", "sampling-trr"),
+    )
+    # 3 attacks (no SiMRA) x 2 mitigations
+    assert len(result.rows) == 3 * 2
+    assert result.checks["nanya-c-8gb_naive_rh_trr_flips"] == 0

@@ -80,3 +80,35 @@ class TestClusteredDecoder:
     def test_unsupported_size(self):
         with pytest.raises(AddressError):
             ClusteredActivationDecoder().group_for(0, 3)
+
+
+class TestPolicyReset:
+    """Satellite: mutable policy state is reset()-able and not injectable."""
+
+    def test_private_counters_not_constructor_args(self):
+        with pytest.raises(TypeError):
+            ComputeRegionPolicy(_op_counter=5)
+        with pytest.raises(TypeError):
+            ComputeRegionPolicy(_refresh_cursor=5)
+
+    def test_counters_hidden_from_repr(self):
+        assert "_op_counter" not in repr(ComputeRegionPolicy())
+
+    def test_reset_restores_fresh_behavior(self):
+        fresh = ComputeRegionPolicy()
+        reused = ComputeRegionPolicy()
+        for _ in range(17):
+            reused.note_simra_op()
+        reused.reset()
+        assert reused.stats == {"ops": 0, "refreshes": 0}
+        fresh_seq = [fresh.note_simra_op() for _ in range(40)]
+        reused_seq = [reused.note_simra_op() for _ in range(40)]
+        assert reused_seq == fresh_seq
+
+    def test_reset_uniform_across_policies(self):
+        for policy in (
+            ComputeRegionPolicy(),
+            WeightedContributionPolicy(),
+            ClusteredActivationDecoder(),
+        ):
+            policy.reset()  # uniform interface, no-ops included

@@ -53,3 +53,35 @@ def test_report_served_from_campaign_store(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "## table1" in captured.out
     assert "table1 cached" in captured.err
+
+
+def test_attack_direct_subset_prints_matrix(capsys):
+    assert main([
+        "attack", "--scale", "smoke",
+        "--configs", "hynix-a-8gb",
+        "--attacks", "sync-comra",
+        "--mitigations", "sampling-trr",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "attack_surface" in out
+    assert "sync-comra" in out and "sampling-trr" in out
+    assert "hynix-a-8gb_bypass_flips" in out
+
+
+def test_attack_campaign_stores_and_resumes(tmp_path, capsys):
+    store_args = ["--scale", "smoke", "--output", str(tmp_path / "store")]
+    args = ["attack", "--configs", "hynix-a-8gb", *store_args]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "1 executed, 0 cached" in out
+    assert (tmp_path / "store" / "artifacts").is_dir()
+    # identical invocation is served entirely from the store
+    assert main(args) == 0
+    assert "0 executed, 1 cached" in capsys.readouterr().out
+
+
+def test_attack_rejects_unknown_names():
+    with pytest.raises(SystemExit):
+        main(["attack", "--configs", "intel-z-99gb"])
+    with pytest.raises(SystemExit):
+        main(["attack", "--mitigations", "magic-shield"])
