@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks for the compiled command-stream engine.
+
+Three cells, each timing the same workload on the fast host (compiled
+streams + chunked replay) and the reference host (per-instruction
+interpretation):
+
+* ``hammer_loop``   -- TRR-attached double-sided RowHammer loop, the
+  workload the chunked ``on_act_stream`` path was built for.  The
+  speedup here carries a hard >=10x floor (the PR's acceptance bar).
+* ``hcfirst_search`` -- five-repeat HC_first measurement, memoized +
+  bracket-warm-started vs five independent cold searches.
+* ``gauntlet_cell`` -- one attack-gauntlet cell (synchronized attack
+  under sampling TRR) with ``DramBenderHost.default_compile_streams``
+  toggled, i.e. the end-to-end attack_surface hot path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke \
+        --out benchmarks/BENCH_hotpath.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke \
+        --check benchmarks/BENCH_hotpath.json
+
+``--check`` exits non-zero when any cell's speedup degraded by more
+than 2x against the committed baseline (speedups, not wall times, so
+the check is stable across runner hardware).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.attack.gauntlet import run_cell  # noqa: E402
+from repro.attack.synthesis import synthesize_attacks  # noqa: E402
+from repro.bender.host import DramBenderHost  # noqa: E402
+from repro.core import patterns  # noqa: E402
+from repro.core.hcfirst import (  # noqa: E402
+    ProbeSetup,
+    find_hc_first,
+    find_hc_first_repeated,
+    standard_row_data,
+)
+from repro.disturbance import Mechanism  # noqa: E402
+from repro.dram import make_module  # noqa: E402
+from repro.trr import SamplingTrr  # noqa: E402
+
+CONFIG = "hynix-a-8gb"
+VICTIM = 2 * 96 + 40
+
+#: acceptance floor on the TRR-attached hammer-loop speedup
+HAMMER_LOOP_FLOOR = 10.0
+
+#: --check fails when a cell's speedup falls below baseline/REGRESSION_FACTOR
+REGRESSION_FACTOR = 2.0
+
+
+def _timeit(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_hammer_loop(smoke: bool, repeats: int) -> dict:
+    count = 20_000 if smoke else 120_000
+
+    def run(fast: bool) -> None:
+        module = make_module(CONFIG)
+        module.attach_trr(SamplingTrr(seed=0))
+        host = DramBenderHost(module, scale_loops=fast, compile_streams=fast)
+        host.run(patterns.double_sided_rowhammer(module, VICTIM, count))
+
+    fast_s = _timeit(lambda: run(True), repeats)
+    ref_s = _timeit(lambda: run(False), max(1, repeats // 2))
+    return {"fast_s": fast_s, "ref_s": ref_s, "speedup": ref_s / fast_s,
+            "params": {"count": count}}
+
+
+def bench_hcfirst_search(smoke: bool, repeats: int) -> dict:
+    n_repeats = 3 if smoke else 5
+
+    def make_setup() -> ProbeSetup:
+        module = make_module(CONFIG)
+        pattern = module.model.worst_case_pattern(0, VICTIM, Mechanism.ROWHAMMER)
+        return ProbeSetup(
+            module=module,
+            program_factory=lambda n: patterns.double_sided_rowhammer(
+                module, VICTIM, n
+            ),
+            row_data=standard_row_data(
+                module, [VICTIM - 1, VICTIM + 1], [VICTIM], pattern
+            ),
+            victims=[VICTIM],
+        )
+
+    def naive() -> None:
+        setup = make_setup()
+        for _ in range(n_repeats):
+            find_hc_first(setup)
+
+    def memoized() -> None:
+        find_hc_first_repeated(make_setup(), repeats=n_repeats)
+
+    fast_s = _timeit(memoized, repeats)
+    ref_s = _timeit(naive, max(1, repeats // 2))
+    return {"fast_s": fast_s, "ref_s": ref_s, "speedup": ref_s / fast_s,
+            "params": {"repeats": n_repeats}}
+
+
+def bench_gauntlet_cell(smoke: bool, repeats: int) -> dict:
+    module = make_module(CONFIG)
+    specs = {spec.name: spec for spec in synthesize_attacks(module)}
+    spec = specs.get("sync-comra") or next(iter(specs.values()))
+    act_budget = spec.acts_per_round * (4 if smoke else 16)
+
+    def run(fast: bool) -> None:
+        previous = DramBenderHost.default_compile_streams
+        DramBenderHost.default_compile_streams = fast
+        try:
+            run_cell(CONFIG, spec, "sampling-trr", act_budget,
+                     stop_after_first_flip=False)
+        finally:
+            DramBenderHost.default_compile_streams = previous
+
+    fast_s = _timeit(lambda: run(True), repeats)
+    ref_s = _timeit(lambda: run(False), max(1, repeats // 2))
+    return {"fast_s": fast_s, "ref_s": ref_s, "speedup": ref_s / fast_s,
+            "params": {"attack": spec.name, "act_budget": act_budget}}
+
+
+BENCHES = {
+    "hammer_loop": bench_hammer_loop,
+    "hcfirst_search": bench_hcfirst_search,
+    "gauntlet_cell": bench_gauntlet_cell,
+}
+
+
+def check_against_baseline(results: dict, baseline_path: Path) -> list[str]:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, cell in results["benchmarks"].items():
+        base = baseline.get("benchmarks", {}).get(name)
+        if base is None:
+            continue
+        floor = base["speedup"] / REGRESSION_FACTOR
+        if cell["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {cell['speedup']:.1f}x is below "
+                f"{floor:.1f}x ({REGRESSION_FACTOR}x regression vs "
+                f"baseline {base['speedup']:.1f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workload sizes for CI")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repeats per cell (best-of)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write results JSON here")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline JSON to compare speedups against")
+    parser.add_argument("--only", choices=sorted(BENCHES), action="append",
+                        help="run only the named cell(s)")
+    args = parser.parse_args(argv)
+
+    names = args.only or list(BENCHES)
+    results = {"config": CONFIG, "smoke": bool(args.smoke), "benchmarks": {}}
+    failures = []
+    for name in names:
+        cell = BENCHES[name](args.smoke, args.repeats)
+        results["benchmarks"][name] = cell
+        print(f"{name:16s} fast {cell['fast_s']*1e3:9.1f} ms   "
+              f"ref {cell['ref_s']*1e3:9.1f} ms   "
+              f"speedup {cell['speedup']:7.1f}x")
+        if name == "hammer_loop" and cell["speedup"] < HAMMER_LOOP_FLOOR:
+            failures.append(
+                f"hammer_loop: speedup {cell['speedup']:.1f}x is below the "
+                f"{HAMMER_LOOP_FLOOR:.0f}x acceptance floor"
+            )
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if args.check is not None:
+        failures.extend(check_against_baseline(results, args.check))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

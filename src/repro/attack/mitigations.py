@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from ..disturbance.calibration import TRR_CAPABLE_REF_PERIOD
 from ..disturbance.distributions import rng_for
 from ..dram.commands import ActivationEvent
@@ -58,6 +60,13 @@ class PracHook:
     neighborhoods via :meth:`~repro.dram.bank.Bank.targeted_refresh` --
     instead of waiting for the next REF, because a PuD attacker can cross
     the RDT many times within one tREFI.
+
+    Deliberately *not* stream-capable (no ``on_act_stream``): the back-off
+    must fire at the exact event where a counter crosses the RDT, so
+    aggregating a whole ACT stretch into one batched call would move the
+    targeted refreshes in time and change what the attack flips.  The
+    host's compiled-chunked path detects the missing method and falls back
+    to unrolled execution for PRAC cells.
     """
 
     def __init__(
@@ -70,12 +79,21 @@ class PracHook:
         self.config = config
         self.warm_start = warm_start
         self._counters: dict[int, PracCounters] = {}
-        self.stats = {
-            "acts_seen": 0,
-            "refs_seen": 0,
-            "rfms": 0,
-            "stall_ns": 0.0,
-            "targeted_refreshes": 0,
+        self.acts_seen = 0
+        self.refs_seen = 0
+        self.rfms = 0
+        self.stall_ns = 0.0
+        self.targeted_refreshes = 0
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot, dict-shaped for report/gauntlet consumers."""
+        return {
+            "acts_seen": self.acts_seen,
+            "refs_seen": self.refs_seen,
+            "rfms": self.rfms,
+            "stall_ns": self.stall_ns,
+            "targeted_refreshes": self.targeted_refreshes,
         }
 
     def counters(self, bank: int) -> PracCounters:
@@ -88,14 +106,14 @@ class PracHook:
     # -- TrrHook interface ---------------------------------------------
     def on_act(self, bank: int, row: int, now_ns: float) -> None:
         # counting happens on events, where the true row group is visible
-        self.stats["acts_seen"] += 1
+        self.acts_seen += 1
 
     def on_ref(self, bank: int, now_ns: float) -> list[int]:
-        self.stats["refs_seen"] += 1
+        self.refs_seen += 1
         counters = self.counters(bank)
         if counters.back_off_pending is not None:
             # fallback path: a back-off raised outside any event window
-            self.stats["rfms"] += 1
+            self.rfms += 1
             return counters.serve_rfm()
         return []
 
@@ -107,14 +125,14 @@ class PracHook:
             op = OpClass.COMRA
         else:
             op = OpClass.ACT
-        self.stats["stall_ns"] += counters.record(
+        self.stall_ns += counters.record(
             event.rows, op, times=max(1, int(times))
         )
         if counters.back_off_pending is not None:
             hot = counters.serve_rfm()
-            self.stats["rfms"] += 1
-            self.stats["stall_ns"] += RFM_NS
-            self.stats["targeted_refreshes"] += len(hot)
+            self.rfms += 1
+            self.stall_ns += RFM_NS
+            self.targeted_refreshes += len(hot)
             self.module.bank(bank).targeted_refresh(hot, event.t_close_ns)
 
 
@@ -140,7 +158,18 @@ class WeightedSamplingTrr:
         self.capable_ref_period = capable_ref_period
         self._weights: dict[int, dict[int, float]] = {}
         self._rng = rng_for("weighted-trr", seed)
-        self.stats = {"acts_seen": 0, "refs_seen": 0, "targeted_refreshes": 0}
+        self.acts_seen = 0
+        self.refs_seen = 0
+        self.targeted_refreshes = 0
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot, dict-shaped for report/gauntlet consumers."""
+        return {
+            "acts_seen": self.acts_seen,
+            "refs_seen": self.refs_seen,
+            "targeted_refreshes": self.targeted_refreshes,
+        }
 
     def _bank_weights(self, bank: int) -> dict[int, float]:
         weights = self._weights.get(bank)
@@ -151,9 +180,26 @@ class WeightedSamplingTrr:
 
     # -- TrrHook interface ---------------------------------------------
     def on_act(self, bank: int, row: int, now_ns: float) -> None:
-        self.stats["acts_seen"] += 1
+        self.acts_seen += 1
         weights = self._bank_weights(bank)
         weights[row] = weights.get(row, 0.0) + 1.0
+
+    def on_act_stream(self, bank: int, rows, times: int = 1) -> None:
+        """Observe ``times`` repetitions of the ACT sequence ``rows``.
+
+        Weight accumulation commutes and integer-valued float sums are
+        exact, so adding ``count * times`` per distinct row equals the
+        same number of sequential ``+ 1.0`` updates bit for bit.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        total = int(rows.size) * int(times)
+        if total == 0:
+            return
+        self.acts_seen += total
+        weights = self._bank_weights(bank)
+        unique, counts = np.unique(rows, return_counts=True)
+        for row, count in zip(unique.tolist(), counts.tolist()):
+            weights[row] = weights.get(row, 0.0) + float(count * times)
 
     def on_event(self, bank: int, event: ActivationEvent, times: float = 1.0) -> None:
         if event.kind is ActivationEvent.Kind.SIMRA:
@@ -167,7 +213,7 @@ class WeightedSamplingTrr:
             weights[row] = weights.get(row, 0.0) + extra * max(1.0, times)
 
     def on_ref(self, bank: int, now_ns: float) -> list[int]:
-        self.stats["refs_seen"] += 1
+        self.refs_seen += 1
         if self._rng.random() >= 1.0 / self.capable_ref_period:
             return []
         weights = self._bank_weights(bank)
@@ -184,7 +230,7 @@ class WeightedSamplingTrr:
                 sampled = row
                 break
         weights.clear()
-        self.stats["targeted_refreshes"] += 1
+        self.targeted_refreshes += 1
         return [sampled]
 
 

@@ -1,5 +1,6 @@
 """DRAM Bender-style testing infrastructure (host + program DSL + thermals)."""
 
+from .compiler import ChunkStep, CompiledStream, RunStep, build_plan, compile_stream
 from .environment import TemperatureController, Thermocouple
 from .host import DramBenderHost, ProgramResult, ReadRecord
 from .program import (
@@ -17,7 +18,12 @@ from .program import (
 
 __all__ = [
     "Act",
+    "ChunkStep",
+    "CompiledStream",
     "DramBenderHost",
+    "RunStep",
+    "build_plan",
+    "compile_stream",
     "Instruction",
     "Loop",
     "Nop",

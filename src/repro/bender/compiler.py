@@ -1,0 +1,269 @@
+"""Compiler: lower hammer programs into batched command streams.
+
+The real DRAM Bender gets its throughput from *replaying* a compiled
+instruction memory instead of interpreting commands one at a time; the
+Blacksmith fuzzer and the Phoenix artifact do the same on the host side.
+This module mirrors that split for the simulated pipeline:
+
+* :func:`compile_stream` lowers a flat ``Act``/``Pre``/``Nop`` body into a
+  :class:`CompiledStream` -- parallel arrays of opcodes, physical rows and
+  cumulative slack offsets, with NOP delays folded into the offsets.  The
+  stream is replayed by :meth:`~repro.dram.bank.Bank.execute_stream`
+  without any per-command dataclass dispatch.
+
+* :func:`build_plan` turns a whole :class:`TestProgram` into an execution
+  plan.  Periodic prefixes of flat ACT/PRE runs (the shape every hammer
+  window has: ``k`` repetitions of the same ACT/PRE period) become
+  :class:`ChunkStep`\\ s, which the host executes as *one warm-up period
+  plus one period scaled by* ``k - 1`` -- the same trick the scaled loop
+  path uses, but applicable per-run inside REF-delimited windows, so it
+  composes with an attached TRR hook (see ``DramBenderHost``).
+
+A period is only chunkable when it opens with an ACT and closes with a
+PRE: then the bank is precharged at every chunk boundary and the session
+state cannot straddle the clock jump.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..dram.bank import STREAM_ACT, STREAM_PRE
+from .program import Act, Instruction, Loop, Nop, Pre, TestProgram
+
+#: minimum repetitions of a period before chunking beats interpretation
+MIN_PERIODS = 4
+#: longest period (in commands) the detector searches for
+MAX_PERIOD = 64
+#: consecutive non-periodic positions scanned before the remainder of a
+#: run is handed to the interpreter wholesale (keeps planning linear)
+SCAN_BUDGET = 64
+
+
+@dataclass
+class CompiledStream:
+    """One lowered ACT/PRE period, ready for ``Bank.execute_stream``.
+
+    ``ops``/``rows``/``offsets`` are the numpy form (vector analysis);
+    the ``*_list`` twins are plain Python lists, which iterate faster in
+    the replay loop.  ``act_rows`` is the physical row of every ACT in
+    stream order -- exactly what a TRR sampler would have observed.
+    """
+
+    bank: int
+    ops: np.ndarray
+    rows: np.ndarray
+    offsets: np.ndarray
+    op_list: list
+    row_list: list
+    offset_list: list
+    act_rows: np.ndarray
+    duration_ns: float
+
+    @property
+    def n_acts(self) -> int:
+        return int(self.act_rows.size)
+
+
+@dataclass
+class RunStep:
+    """Interpret these instructions one by one (the unrolled path)."""
+
+    instructions: tuple
+
+
+@dataclass
+class ChunkStep:
+    """Execute ``count`` repetitions of ``stream`` as a scaled chunk.
+
+    ``instructions`` keeps the covered program slice so the host can fall
+    back to interpretation when the attached hook cannot take a batched
+    ACT stream (e.g. PRAC back-off must fire mid-window).
+    """
+
+    stream: CompiledStream
+    count: int
+    instructions: tuple
+
+
+PlanStep = Union[RunStep, ChunkStep, Loop]
+
+
+def compile_stream(
+    body: Sequence[Instruction], module
+) -> Optional[CompiledStream]:
+    """Lower a flat single-bank ACT/PRE/NOP body; None if not stream-safe.
+
+    Stream-safe means: only ``Act``/``Pre``/``Nop`` instructions, a single
+    bank throughout, first command an ACT and last a PRE (the bank is
+    closed at the boundary, so repetitions tile).  Logical rows are
+    translated to physical here, once, instead of per iteration.
+    """
+    bank: Optional[int] = None
+    t = 0.0
+    op_list: list = []
+    row_list: list = []
+    offset_list: list = []
+    act_rows: list = []
+    to_physical = module.to_physical
+    for instr in body:
+        t += instr.slack_ns
+        if isinstance(instr, Nop):
+            continue
+        if isinstance(instr, Act):
+            if bank is None:
+                bank = instr.bank
+            elif instr.bank != bank:
+                return None
+            phys = to_physical(instr.row)
+            op_list.append(STREAM_ACT)
+            row_list.append(phys)
+            offset_list.append(t)
+            act_rows.append(phys)
+        elif isinstance(instr, Pre):
+            if bank is None:
+                bank = instr.bank
+            elif instr.bank != bank:
+                return None
+            op_list.append(STREAM_PRE)
+            row_list.append(-1)
+            offset_list.append(t)
+        else:
+            return None
+    if not op_list or op_list[0] != STREAM_ACT or op_list[-1] != STREAM_PRE:
+        return None
+    return CompiledStream(
+        bank=bank,
+        ops=np.asarray(op_list, dtype=np.int8),
+        rows=np.asarray(row_list, dtype=np.int64),
+        offsets=np.asarray(offset_list, dtype=np.float64),
+        op_list=op_list,
+        row_list=row_list,
+        offset_list=offset_list,
+        act_rows=np.asarray(act_rows, dtype=np.int64),
+        duration_ns=t,
+    )
+
+
+def _find_periodic_prefix(
+    ops: np.ndarray,
+    banks: np.ndarray,
+    rows: np.ndarray,
+    slacks: np.ndarray,
+) -> Optional[tuple[int, int]]:
+    """Best ``(period, repetitions)`` at position 0, or None.
+
+    Vectorized: for each candidate period ``p`` the self-overlap equality
+    ``x[p:] == x[:-p]`` is computed across all four fields at once; the
+    length of the initial all-True run gives how far the periodicity
+    extends.  Among candidates with at least :data:`MIN_PERIODS`
+    repetitions the one covering the most commands wins (ties favor the
+    shortest period, which maximizes the scaling factor).
+    """
+    n = ops.size
+    if n < 2 * MIN_PERIODS or ops[0] != STREAM_ACT:
+        return None
+    best: Optional[tuple[int, int, int]] = None
+    max_p = min(MAX_PERIOD, n // MIN_PERIODS)
+    for p in range(2, max_p + 1):
+        if ops[p - 1] != STREAM_PRE:
+            continue  # period must close its session at the boundary
+        eq = (
+            (ops[p:] == ops[:-p])
+            & (banks[p:] == banks[:-p])
+            & (rows[p:] == rows[:-p])
+            & (slacks[p:] == slacks[:-p])
+        )
+        m = n if eq.all() else p + int(np.argmin(eq))
+        k = m // p
+        if k < MIN_PERIODS:
+            continue
+        coverage = k * p
+        if best is None or coverage > best[2]:
+            best = (p, k, coverage)
+    if best is None:
+        return None
+    return best[0], best[1]
+
+
+def _plan_run(
+    run: Sequence[Instruction],
+    module,
+    steps: list,
+    raw: list,
+    flush_raw,
+) -> None:
+    """Chunk the periodic stretches of one maximal ACT/PRE run."""
+    ops = np.fromiter(
+        (STREAM_ACT if isinstance(i, Act) else STREAM_PRE for i in run),
+        dtype=np.int8,
+        count=len(run),
+    )
+    banks = np.fromiter((i.bank for i in run), dtype=np.int32, count=len(run))
+    rows = np.fromiter(
+        (i.row if isinstance(i, Act) else -1 for i in run),
+        dtype=np.int64,
+        count=len(run),
+    )
+    slacks = np.fromiter(
+        (i.slack_ns for i in run), dtype=np.float64, count=len(run)
+    )
+    pos = 0
+    n = len(run)
+    misses = 0
+    while pos < n:
+        if misses >= SCAN_BUDGET:
+            break
+        found = _find_periodic_prefix(
+            ops[pos:], banks[pos:], rows[pos:], slacks[pos:]
+        )
+        stream = None
+        if found is not None:
+            p, k = found
+            stream = compile_stream(run[pos : pos + p], module)
+        if stream is None:
+            raw.append(run[pos])
+            pos += 1
+            misses += 1
+            continue
+        flush_raw()
+        steps.append(ChunkStep(stream, k, tuple(run[pos : pos + p * k])))
+        pos += p * k
+        misses = 0
+    raw.extend(run[pos:])
+
+
+def build_plan(program: TestProgram, module) -> list:
+    """Lower a program into a plan of Run / Chunk / Loop steps."""
+    steps: list = []
+    raw: list = []
+
+    def flush_raw() -> None:
+        if raw:
+            steps.append(RunStep(tuple(raw)))
+            raw.clear()
+
+    instructions = program.instructions
+    i = 0
+    n = len(instructions)
+    while i < n:
+        instr = instructions[i]
+        if isinstance(instr, Loop):
+            flush_raw()
+            steps.append(instr)
+            i += 1
+            continue
+        if not isinstance(instr, (Act, Pre)):
+            raw.append(instr)
+            i += 1
+            continue
+        j = i
+        while j < n and isinstance(instructions[j], (Act, Pre)):
+            j += 1
+        _plan_run(instructions[i:j], module, steps, raw, flush_raw)
+        i = j
+    flush_raw()
+    return steps

@@ -9,15 +9,29 @@ streams into a DIMM:
 * read data is collected into the program result,
 * execution time is tracked in nanoseconds.
 
-Fast path: hammering programs are dominated by a ``Loop`` repeating a short
-command body millions of times.  Damage accrual is linear in the iteration
-count and the body's *functional* effects (copies, majority writes) reach a
-fixpoint after one iteration, so the host executes the body twice -- once to
-warm up interleaving state (double-sided synergy, tAggOff gaps), once with
-the fault model's ``times`` multiplier set to the remaining count -- and
-advances the clock by the skipped duration.  Programs containing RD/WR/REF
-in loop bodies, or any program while a TRR mechanism is attached, take the
-exact (unrolled) path because their behavior is not iteration-invariant.
+Three execution paths (see DESIGN.md, "Execution engine"):
+
+* **unrolled** -- per-instruction interpretation; always correct, always
+  available, and the reference the other two are tested against.
+* **scaled** -- a ``Loop`` body executes twice: once to warm up
+  interleaving state (synergy windows, tAggOff gaps), once with the fault
+  model's ``times`` multiplier carrying the remaining iterations, and the
+  clock jumps over the skipped duration.  Valid because damage accrual is
+  linear in the iteration count and the body's *functional* effects
+  (copies, majority writes) reach a fixpoint after one iteration.
+  Refused when a TRR hook is attached or the body contains RD/WR/REF.
+* **compiled-chunked** -- periodic ACT/PRE stretches (a ``Loop`` body or a
+  periodic run inside a flat program) are lowered once by
+  :mod:`repro.bender.compiler` into a command stream and executed with
+  the same warm-up + scaled two-pass trick, but *per REF-delimited
+  stretch*, which is what makes it compose with an attached TRR hook:
+  between TRR-capable REFs the sampler's observable state depends only on
+  the ACT sequence, so per-ACT callbacks are suppressed during the two
+  passes and the hook receives one batched
+  ``on_act_stream(bank, rows, times)`` that reproduces the exact buffer
+  state sequential ``on_act`` calls would have left.  Hooks without
+  ``on_act_stream`` (e.g. PRAC, whose back-off fires mid-stretch) fall
+  back to the unrolled path automatically.
 """
 
 from __future__ import annotations
@@ -28,7 +42,17 @@ from typing import Optional
 import numpy as np
 
 from ..dram.module import DramModule
+from .compiler import (
+    ChunkStep,
+    CompiledStream,
+    RunStep,
+    build_plan,
+    compile_stream,
+)
 from .program import Act, Instruction, Loop, Nop, Pre, Rd, Ref, TestProgram, Wr
+
+#: cache sentinel for loop bodies that do not lower to a stream
+_NO_STREAM = object()
 
 
 @dataclass
@@ -50,6 +74,9 @@ class ProgramResult:
     start_ns: float = 0.0
     end_ns: float = 0.0
     warnings: list[str] = field(default_factory=list)
+    #: lazily-built (bank, logical_row) -> last read index (O(1) lookups)
+    _read_index: dict = field(default_factory=dict, repr=False, compare=False)
+    _indexed_upto: int = field(default=0, repr=False, compare=False)
 
     @property
     def duration_ns(self) -> float:
@@ -57,10 +84,20 @@ class ProgramResult:
 
     def data_for(self, bank: int, logical_row: int) -> np.ndarray:
         """Last read data for a row (raises if the row was never read)."""
-        for record in reversed(self.reads):
-            if record.bank == bank and record.logical_row == logical_row:
-                return record.data
-        raise KeyError(f"row {logical_row} (bank {bank}) was never read")
+        reads = self.reads
+        if self._indexed_upto > len(reads):
+            # the reads list shrank (caller replaced it); rebuild
+            self._read_index.clear()
+            self._indexed_upto = 0
+        index = self._read_index
+        while self._indexed_upto < len(reads):
+            record = reads[self._indexed_upto]
+            index[(record.bank, record.logical_row)] = self._indexed_upto
+            self._indexed_upto += 1
+        position = index.get((bank, logical_row))
+        if position is None:
+            raise KeyError(f"row {logical_row} (bank {bank}) was never read")
+        return reads[position].data
 
 
 class DramBenderHost:
@@ -68,17 +105,35 @@ class DramBenderHost:
 
     #: Loop bodies at or above this iteration count use the scaled path.
     SCALE_THRESHOLD = 3
+    #: default for the ``compile_streams`` constructor argument; benchmarks
+    #: flip this to force interpretation in code they don't construct.
+    default_compile_streams = True
+    #: plans/streams cached per host before the caches reset
+    _CACHE_MAX = 64
 
     def __init__(
         self,
         module: DramModule,
         scale_loops: bool = True,
         enforce_refresh_window: bool = False,
+        compile_streams: Optional[bool] = None,
     ) -> None:
         self.module = module
         self.scale_loops = scale_loops
         self.enforce_refresh_window = enforce_refresh_window
+        self.compile_streams = (
+            self.default_compile_streams
+            if compile_streams is None
+            else compile_streams
+        )
         self.now_ns = 0.0
+        # Plans are keyed by program identity (programs are mutable, so
+        # content hashing is off the table); the program reference is kept
+        # so a dead id can't alias a new object.  Callers must not mutate
+        # a program's instruction list between runs -- nothing in the
+        # repo does.
+        self._plans: dict[int, tuple[TestProgram, list]] = {}
+        self._loop_streams: dict[Loop, object] = {}
 
     # ------------------------------------------------------------------
     def run(self, program: TestProgram) -> ProgramResult:
@@ -95,7 +150,10 @@ class DramBenderHost:
                 raise RuntimeError(message)
             result.warnings.append(message)
 
-        self._execute(program.instructions, result)
+        if self.compile_streams:
+            self._execute_plan(self._plan_for(program), result)
+        else:
+            self._execute(program.instructions, result)
         self._flush_banks()
         result.end_ns = self.now_ns
         return result
@@ -103,6 +161,95 @@ class DramBenderHost:
     def _flush_banks(self) -> None:
         for bank in self.module.banks:
             bank.flush(self.now_ns)
+
+    # ------------------------------------------------------------------
+    # Plan machinery (compiled-chunked path)
+    # ------------------------------------------------------------------
+    def _plan_for(self, program: TestProgram) -> list:
+        key = id(program)
+        entry = self._plans.get(key)
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        plan = build_plan(program, self.module)
+        if len(self._plans) >= self._CACHE_MAX:
+            self._plans.clear()
+        self._plans[key] = (program, plan)
+        return plan
+
+    def _execute_plan(self, plan: list, result: ProgramResult) -> None:
+        for step in plan:
+            cls = step.__class__
+            if cls is RunStep:
+                self._execute(step.instructions, result)
+            elif cls is ChunkStep:
+                self._execute_chunk(step, result)
+            else:  # Loop
+                self._execute_loop(step, result)
+
+    def _execute_chunk(self, step: ChunkStep, result: ProgramResult) -> None:
+        stream = step.stream
+        bank = self.module.bank(stream.bank)
+        trr = bank.trr
+        if trr is not None and not hasattr(trr, "on_act_stream"):
+            # hook needs per-command visibility (e.g. PRAC back-off)
+            self._execute(step.instructions, result)
+            return
+        self._run_stream(bank, stream, step.count)
+
+    def _run_stream(self, bank, stream: CompiledStream, count: int) -> None:
+        """Warm-up pass + one pass scaled by ``count - 1``; exact clocking.
+
+        All command times are ``base + offset`` with offsets precomputed
+        at compile time; slacks are multiples of the 1.5 ns bus cycle, so
+        every timestamp is exact in float64 and bit-identical to the
+        unrolled path's accumulation.
+        """
+        base = self.now_ns
+        trr = bank.trr
+        if trr is not None:
+            bank.trr_act_suppressed = True
+        try:
+            bank.execute_stream(
+                stream.op_list, stream.row_list, stream.offset_list, base
+            )
+            if count > 1:
+                before = dict(bank.stats)
+                saved = bank.event_times
+                bank.event_times = saved * (count - 1)
+                try:
+                    bank.execute_stream(
+                        stream.op_list,
+                        stream.row_list,
+                        stream.offset_list,
+                        base + stream.duration_ns,
+                    )
+                finally:
+                    bank.event_times = saved
+                if count > 2:
+                    # the scaled pass carried iterations 2..count's damage
+                    # but only counted one period of commands; top up the
+                    # command/op counters with the skipped repetitions
+                    stats = bank.stats
+                    for key, value in before.items():
+                        delta = stats[key] - value
+                        if delta:
+                            stats[key] += delta * (count - 2)
+        finally:
+            if trr is not None:
+                bank.trr_act_suppressed = False
+        if trr is not None:
+            trr.on_act_stream(stream.bank, stream.act_rows, count)
+        self.now_ns = base + stream.duration_ns * count
+
+    def _loop_stream(self, loop: Loop) -> Optional[CompiledStream]:
+        cached = self._loop_streams.get(loop)
+        if cached is not None:
+            return None if cached is _NO_STREAM else cached
+        stream = compile_stream(loop.body, self.module)
+        if len(self._loop_streams) >= self._CACHE_MAX:
+            self._loop_streams.clear()
+        self._loop_streams[loop] = _NO_STREAM if stream is None else stream
+        return stream
 
     # ------------------------------------------------------------------
     def _execute(self, instructions, result: ProgramResult) -> None:
@@ -115,29 +262,46 @@ class DramBenderHost:
     def _execute_loop(self, loop: Loop, result: ProgramResult) -> None:
         if loop.count == 0:
             return
-        if not self._can_scale(loop):
-            for _ in range(loop.count):
-                self._execute(loop.body, result)
-            return
-
-        # Warm-up pass establishes steady-state interleaving (synergy
-        # windows, tAggOff gaps), then one pass carries the remaining
-        # iterations' damage at once.
-        self._execute(loop.body, result)
-        if loop.count == 1:
-            return
-        remaining = loop.count - 1
-        saved = [bank.event_times for bank in self.module.banks]
-        for bank, times in zip(self.module.banks, saved):
-            bank.event_times = times * remaining
-        try:
+        if self._can_scale(loop):
+            # Warm-up pass establishes steady-state interleaving (synergy
+            # windows, tAggOff gaps), then one pass carries the remaining
+            # iterations' damage at once.
             self._execute(loop.body, result)
-        finally:
-            for bank, times in zip(self.module.banks, saved):
-                bank.event_times = times
-        body_ns = TestProgram(list(loop.body)).duration_ns
-        # two passes already advanced 2 * body_ns; account for the rest
-        self.now_ns += body_ns * (loop.count - 2)
+            if loop.count == 1:
+                return
+            remaining = loop.count - 1
+            banks = self.module.banks
+            saved = [bank.event_times for bank in banks]
+            before = [dict(bank.stats) for bank in banks]
+            for bank, times in zip(banks, saved):
+                bank.event_times = times * remaining
+            try:
+                self._execute(loop.body, result)
+            finally:
+                for bank, times in zip(banks, saved):
+                    bank.event_times = times
+            if loop.count > 2:
+                # the scaled pass carried the remaining iterations' damage
+                # but counted one body's worth of commands; top up the
+                # counters with the skipped repetitions
+                for bank, snapshot in zip(banks, before):
+                    for key, value in snapshot.items():
+                        delta = bank.stats[key] - value
+                        if delta:
+                            bank.stats[key] += delta * (loop.count - 2)
+            # two passes already advanced 2 * body_ns; account for the rest
+            self.now_ns += loop.body_duration_ns * (loop.count - 2)
+            return
+        if self.scale_loops and self.compile_streams:
+            stream = self._loop_stream(loop)
+            if stream is not None:
+                bank = self.module.bank(stream.bank)
+                trr = bank.trr
+                if trr is None or hasattr(trr, "on_act_stream"):
+                    self._run_stream(bank, stream, loop.count)
+                    return
+        for _ in range(loop.count):
+            self._execute(loop.body, result)
 
     def _can_scale(self, loop: Loop) -> bool:
         if not self.scale_loops or loop.count < self.SCALE_THRESHOLD:

@@ -15,6 +15,7 @@ infrastructure sends; the device's row decoder applies the vendor mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -84,6 +85,16 @@ class Loop:
         if self.count < 0:
             raise ValueError("loop count must be non-negative")
 
+    @cached_property
+    def body_duration_ns(self) -> float:
+        """Semantic duration of one body iteration.
+
+        Cached: the body tuple is frozen, and hosts ask for this on every
+        execution of the loop.  (``cached_property`` writes the computed
+        value straight into ``__dict__``, which frozen dataclasses permit.)
+        """
+        return _duration(self.body)
+
 
 Instruction = Union[Act, Pre, Rd, Wr, Ref, Nop, Loop]
 
@@ -101,7 +112,7 @@ def _duration(instructions: Sequence[Instruction]) -> float:
     total = 0.0
     for instr in instructions:
         if isinstance(instr, Loop):
-            total += instr.count * _duration(instr.body)
+            total += instr.count * instr.body_duration_ns
         else:
             total += instr.slack_ns
     return total

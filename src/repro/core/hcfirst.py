@@ -68,6 +68,8 @@ class HcFirstResult:
     converged: bool
     probes: int
     history: list[ProbeResult] = field(default_factory=list)
+    #: probes answered from the memo instead of running the command path
+    cache_hits: int = 0
 
     @property
     def found(self) -> bool:
@@ -106,29 +108,52 @@ def find_hc_first(
     max_hammers: int = DEFAULT_MAX_HAMMERS,
     convergence: float = CONVERGENCE,
     initial_guess: int = 1024,
+    probe_cache: Optional[dict[int, ProbeResult]] = None,
+    bracket: Optional[tuple[int, int]] = None,
 ) -> HcFirstResult:
     """Bisection HC_first search (§4.2).
 
     Phase 1 doubles an upper bound until a probe flips (or the cap is hit);
     phase 2 bisects between the highest flip-free count and the lowest
     flipping count until consecutive estimates agree within ``convergence``.
+
+    A probe reinitializes every aggressor and victim row before hammering,
+    so its outcome depends only on ``count``; ``probe_cache`` memoizes
+    probe results on that key (the caller owns the dict, so one cache can
+    span the five repeats of :func:`find_hc_first_repeated`).  ``bracket``
+    warm-starts the search with a known ``(flip-free, flipping)`` count
+    pair from a previous search over the same setup.
     """
     history: list[ProbeResult] = []
+    cache_hits = 0
 
     def probe(count: int) -> ProbeResult:
+        nonlocal cache_hits
+        if probe_cache is not None:
+            cached = probe_cache.get(count)
+            if cached is not None:
+                cache_hits += 1
+                history.append(cached)
+                return cached
         result = run_probe(setup, count)
+        if probe_cache is not None:
+            probe_cache[count] = result
         history.append(result)
         return result
 
-    low = 0
-    high = max(2, initial_guess)
+    if bracket is not None:
+        high = max(2, int(bracket[1]))
+        low = min(max(0, int(bracket[0])), high - 1)
+    else:
+        low = 0
+        high = max(2, initial_guess)
     while True:
         result = probe(high)
         if result.flips:
             break
         low = high
         if high >= max_hammers:
-            return HcFirstResult(None, False, len(history), history)
+            return HcFirstResult(None, False, len(history), history, cache_hits)
         high = min(max_hammers, high * 4)
 
     # Bisect until the bracketing interval shrinks within the convergence
@@ -141,7 +166,7 @@ def find_hc_first(
             high = mid
         else:
             low = mid
-    return HcFirstResult(float(high), True, len(history), history)
+    return HcFirstResult(float(high), True, len(history), history, cache_hits)
 
 
 def find_hc_first_repeated(
@@ -155,13 +180,33 @@ def find_hc_first_repeated(
 
     The simulated chip is deterministic, so repeats agree exactly; the knob
     is kept for methodological fidelity and for future stochastic models.
+    Probes are memoized across the repeats (results depend only on the
+    count, see :func:`find_hc_first`) and each repeat's bisection is
+    warm-started with the previous repeat's bracket, so repeats after the
+    first are answered from the cache instead of re-running identical
+    deterministic searches through the command path.
     """
+    probe_cache: dict[int, ProbeResult] = {}
+    bracket: Optional[tuple[int, int]] = None
     best: Optional[HcFirstResult] = None
     for _ in range(max(1, repeats)):
         result = find_hc_first(
             setup, max_hammers=max_hammers, convergence=convergence,
-            initial_guess=initial_guess,
+            initial_guess=initial_guess, probe_cache=probe_cache,
+            bracket=bracket,
         )
+        if result.found:
+            # Tighten, never widen: a warm-started repeat's history may
+            # hold only the single (cached) confirming probe, which says
+            # nothing about the flip-free bound established earlier.
+            flip_free = [
+                probe.count
+                for probe in result.history
+                if probe.flips == 0 and probe.count < result.hc_first
+            ]
+            if bracket is not None:
+                flip_free.append(bracket[0])
+            bracket = (max(flip_free, default=0), int(result.hc_first))
         if best is None:
             best = result
         elif result.found and (

@@ -54,6 +54,12 @@ class TrrHook(Protocol):
 SIMRA_BLOCK_BITS = 5
 SIMRA_BLOCK = 1 << SIMRA_BLOCK_BITS
 
+#: Opcodes of the compiled command-stream representation consumed by
+#: :meth:`Bank.execute_stream`.  They live here (not in the bender
+#: compiler) so the dram layer never imports from bender.
+STREAM_ACT = 0
+STREAM_PRE = 1
+
 
 @dataclass
 class _OpenSession:
@@ -127,6 +133,9 @@ class Bank:
         #: rows whose cells sit at ~VDD/2 (FracDRAM fractional values)
         self._frac: set[int] = set()
         self.trr: Optional[TrrHook] = None
+        #: when True, ACTs skip the per-command ``trr.on_act`` callback;
+        #: the caller owes the hook one batched ``on_act_stream`` instead
+        self.trr_act_suppressed = False
         self.stats = {"acts": 0, "pres": 0, "refs": 0, "comra_copies": 0,
                       "simra_ops": 0, "reads": 0, "writes": 0}
 
@@ -190,7 +199,7 @@ class Bank:
         """Activate a row, possibly triggering CoMRA or SiMRA semantics."""
         self.geometry.check_row(row)
         self.stats["acts"] += 1
-        if self.trr is not None:
+        if self.trr is not None and not self.trr_act_suppressed:
             self.trr.on_act(self.index, row, now_ns)
         if self._open is not None:
             if self.strict:
@@ -578,6 +587,53 @@ class Bank:
         if self._open is not None:
             self.pre(now_ns)
         self._flush_pending_event(now_ns)
+
+    # ------------------------------------------------------------------
+    # Batched command-stream entry points (see repro.bender.compiler)
+    # ------------------------------------------------------------------
+    def execute_stream(
+        self,
+        ops: Sequence[int],
+        rows: Sequence[int],
+        offsets: Sequence[float],
+        base_ns: float = 0.0,
+    ) -> None:
+        """Replay a compiled ACT/PRE command stream.
+
+        ``ops`` holds :data:`STREAM_ACT` / :data:`STREAM_PRE` opcodes,
+        ``rows`` the physical row per ACT (ignored for PRE), ``offsets``
+        the cumulative nanosecond offset of each command from ``base_ns``
+        (NOP delays are folded into the offsets at compile time).  The
+        semantics are exactly a sequence of :meth:`act` / :meth:`pre`
+        calls; only the per-command dataclass dispatch is gone.
+        """
+        act = self.act
+        pre = self.pre
+        for op, row, offset in zip(ops, rows, offsets):
+            if op == STREAM_ACT:
+                act(row, base_ns + offset)
+            else:
+                pre(base_ns + offset)
+
+    def act_stream(
+        self,
+        rows: Sequence[int],
+        open_offsets: Sequence[float],
+        close_offsets: Sequence[float],
+        base_ns: float = 0.0,
+    ) -> None:
+        """Fold a stream of single-row activation sessions into events.
+
+        Each element is one (ACT row at ``open``, PRE at ``close``)
+        session; the usual one-command event holdback still applies, so
+        timing-violating adjacency between consecutive sessions (CoMRA,
+        SiMRA) classifies exactly as it would command by command.
+        """
+        act = self.act
+        pre = self.pre
+        for row, t_open, t_close in zip(rows, open_offsets, close_offsets):
+            act(row, base_ns + t_open)
+            pre(base_ns + t_close)
 
     # ------------------------------------------------------------------
     def read_row_direct(self, row: int, now_ns: float) -> np.ndarray:

@@ -41,7 +41,20 @@ class SamplingTrr:
         self._buffers: dict[int, deque[int]] = {}
         self._ref_counter: dict[int, int] = {}
         self._rng: np.random.Generator = rng_for("sampling-trr", seed)
-        self.stats = {"acts_seen": 0, "refs_seen": 0, "targeted_refreshes": 0}
+        # plain int counters: dict increments per ACT are measurable
+        # overhead in the hammer hot loop
+        self.acts_seen = 0
+        self.refs_seen = 0
+        self.targeted_refreshes = 0
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot, dict-shaped for report/gauntlet consumers."""
+        return {
+            "acts_seen": self.acts_seen,
+            "refs_seen": self.refs_seen,
+            "targeted_refreshes": self.targeted_refreshes,
+        }
 
     def _buffer(self, bank: int) -> deque[int]:
         buf = self._buffers.get(bank)
@@ -54,11 +67,37 @@ class SamplingTrr:
     # TrrHook interface
     # ------------------------------------------------------------------
     def on_act(self, bank: int, row: int, now_ns: float) -> None:
-        self.stats["acts_seen"] += 1
+        self.acts_seen += 1
         self._buffer(bank).append(row)
 
+    def on_act_stream(self, bank: int, rows, times: int = 1) -> None:
+        """Observe ``times`` repetitions of the ACT sequence ``rows``.
+
+        Exactly equivalent to ``rows.size * times`` sequential
+        :meth:`on_act` calls: the bounded FIFO's final content is the last
+        ``window`` elements of the tiled sequence, which this computes
+        directly (modular indexing) instead of appending one by one.  The
+        batched host path calls this once per compiled chunk, between
+        REFs, so the buffer a TRR-capable REF samples from is
+        bit-identical to the unrolled execution's.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        total = int(rows.size) * int(times)
+        if total == 0:
+            return
+        self.acts_seen += total
+        buf = self._buffer(bank)
+        if total >= self.window:
+            # only the tail survives the FIFO; reconstruct it in place
+            tail = np.arange(total - self.window, total) % rows.size
+            buf.clear()
+            buf.extend(int(row) for row in rows[tail])
+        else:
+            seq = rows if times == 1 else np.tile(rows, int(times))
+            buf.extend(int(row) for row in seq)
+
     def on_ref(self, bank: int, now_ns: float) -> list[int]:
-        self.stats["refs_seen"] += 1
+        self.refs_seen += 1
         count = self._ref_counter.get(bank, 0) + 1
         self._ref_counter[bank] = count
         # One in `capable_ref_period` REFs performs a targeted refresh, at
@@ -73,5 +112,5 @@ class SamplingTrr:
         index = int(self._rng.integers(0, len(buffer)))
         sampled = buffer[index]
         buffer.clear()
-        self.stats["targeted_refreshes"] += 1
+        self.targeted_refreshes += 1
         return [sampled]

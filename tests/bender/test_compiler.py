@@ -1,0 +1,141 @@
+"""Lowering hammer programs into compiled command streams."""
+
+import pytest
+
+from repro.bender.compiler import (
+    ChunkStep,
+    RunStep,
+    build_plan,
+    compile_stream,
+)
+from repro.bender.program import Loop, Nop, ProgramBuilder, Ref
+from repro.core import patterns
+from repro.dram import make_module
+from repro.dram.bank import STREAM_ACT, STREAM_PRE
+
+
+@pytest.fixture()
+def module():
+    return make_module("hynix-a-8gb")
+
+
+def rowhammer_body(module, victim=2 * 96 + 40):
+    low = module.to_logical(victim - 1)
+    high = module.to_logical(victim + 1)
+    return (
+        ProgramBuilder()
+        .act(0, low, 13.5).pre(0, 36.0)
+        .act(0, high, 13.5).pre(0, 36.0)
+        ._instructions
+    )
+
+
+class TestCompileStream:
+    def test_lowers_rowhammer_body(self, module):
+        victim = 2 * 96 + 40
+        stream = compile_stream(rowhammer_body(module, victim), module)
+        assert stream is not None
+        assert stream.op_list == [STREAM_ACT, STREAM_PRE, STREAM_ACT, STREAM_PRE]
+        # logical rows were translated to physical at compile time
+        assert list(stream.act_rows) == [victim - 1, victim + 1]
+        # offsets are cumulative slacks: 13.5, 49.5, 63.0, 99.0
+        assert stream.offset_list == [13.5, 49.5, 63.0, 99.0]
+        assert stream.duration_ns == 99.0
+        assert stream.n_acts == 2
+
+    def test_nop_slack_folds_into_offsets(self, module):
+        body = (
+            ProgramBuilder()
+            .act(0, 5, 13.5).nop(21.0).pre(0, 15.0)
+            ._instructions
+        )
+        stream = compile_stream(body, module)
+        assert stream is not None
+        assert stream.op_list == [STREAM_ACT, STREAM_PRE]
+        assert stream.offset_list == [13.5, 13.5 + 21.0 + 15.0]
+        assert stream.duration_ns == 49.5
+
+    def test_rejects_rd_wr_ref(self, module):
+        with_rd = ProgramBuilder().act(0, 5, 13.5).rd(0, 5, 15.0).pre(0, 36.0)
+        assert compile_stream(with_rd._instructions, module) is None
+        with_ref = [Ref(0.0)]
+        assert compile_stream(with_ref, module) is None
+
+    def test_rejects_multi_bank(self, module):
+        body = (
+            ProgramBuilder()
+            .act(0, 5, 13.5).pre(0, 36.0)
+            .act(1, 5, 13.5).pre(1, 36.0)
+            ._instructions
+        )
+        assert compile_stream(body, module) is None
+
+    def test_rejects_open_boundary(self, module):
+        # must start with ACT and end with PRE so repetitions tile with
+        # the bank precharged at every boundary
+        starts_with_pre = ProgramBuilder().pre(0, 36.0).act(0, 5, 13.5)
+        assert compile_stream(starts_with_pre._instructions, module) is None
+        ends_open = ProgramBuilder().act(0, 5, 13.5)
+        assert compile_stream(ends_open._instructions, module) is None
+        assert compile_stream([Nop(1.5)], module) is None
+
+
+class TestBuildPlan:
+    def test_flat_trr_pattern_chunks_windows(self, module):
+        victim = 2 * 96 + 40
+        program = patterns.n_sided_trr_pattern(
+            module, (victim - 1, victim + 1), victim + 30,
+            windows=1, dummy_windows=2,
+        )
+        plan = build_plan(program, module)
+        chunks = [s for s in plan if isinstance(s, ChunkStep)]
+        assert len(chunks) >= 3  # one per tREFI window
+        # chunked commands dominate the plan (NOP/REF separators stay raw)
+        chunked = sum(len(c.stream.op_list) * c.count for c in chunks)
+        raw = sum(
+            len(s.instructions) for s in plan if isinstance(s, RunStep)
+        )
+        assert chunked > 10 * raw
+        # the aggressor window alternates two rows -> period of 4 commands
+        assert len(chunks[0].stream.op_list) == 4
+
+    def test_chunk_periods_close_their_session(self, module):
+        victim = 2 * 96 + 40
+        program = patterns.n_sided_trr_pattern(
+            module, (victim - 1, victim + 1), victim + 30,
+            windows=1, dummy_windows=1,
+        )
+        for step in build_plan(program, module):
+            if isinstance(step, ChunkStep):
+                assert step.stream.op_list[0] == STREAM_ACT
+                assert step.stream.op_list[-1] == STREAM_PRE
+
+    def test_loops_pass_through(self, module):
+        program = patterns.double_sided_rowhammer(module, 2 * 96 + 40, 100)
+        plan = build_plan(program, module)
+        assert len(plan) == 1
+        assert isinstance(plan[0], Loop)
+
+    def test_aperiodic_run_stays_raw(self, module):
+        builder = ProgramBuilder("aperiodic")
+        for row in (3, 11, 5, 19, 7, 23, 9, 31):  # no repeating period
+            builder.act(0, row, 13.5)
+            builder.pre(0, 36.0)
+        plan = build_plan(builder.build(), module)
+        assert all(isinstance(step, RunStep) for step in plan)
+
+    def test_plan_covers_every_instruction(self, module):
+        victim = 2 * 96 + 40
+        program = patterns.comra_trr_pattern(
+            module, victim, victim + 30, dummy_windows=1
+        )
+        plan = build_plan(program, module)
+        covered = 0
+        for step in plan:
+            if isinstance(step, ChunkStep):
+                covered += len(step.instructions)
+            elif isinstance(step, RunStep):
+                covered += len(step.instructions)
+            else:
+                covered += 1
+        assert covered == len(program.instructions)

