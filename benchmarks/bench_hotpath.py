@@ -48,7 +48,13 @@ from repro.core.hcfirst import (  # noqa: E402
 )
 from repro.disturbance import Mechanism  # noqa: E402
 from repro.dram import make_module  # noqa: E402
+from repro.memsys import (  # noqa: E402
+    MemSysConfig,
+    MemorySystem,
+    ScanLoopMemorySystem,
+)
 from repro.trr import SamplingTrr  # noqa: E402
+from repro.workloads import PudWorkloadConfig, build_mixes  # noqa: E402
 
 CONFIG = "hynix-a-8gb"
 VICTIM = 2 * 96 + 40
@@ -136,10 +142,89 @@ def bench_gauntlet_cell(smoke: bool, repeats: int) -> dict:
             "params": {"attack": spec.name, "act_budget": act_budget}}
 
 
+def bench_population_scan(smoke: bool, repeats: int) -> dict:
+    """Bulk population tables + array oracles vs per-row scalar sampling.
+
+    The reference side replays the pre-table behavior: sample every row's
+    profile with the scalar ``_sample_profile`` (seeding the profile cache
+    so the scalar oracles don't fall through to the table path), then run
+    the scalar HC_first / WCDP oracles row by row.
+    """
+    n_subarrays = 2 if smoke else 6
+
+    def subarray_rows(module):
+        geom = module.geometry
+        return [
+            row
+            for sub in range(min(n_subarrays, geom.subarrays_per_bank))
+            for row in geom.subarray_rows(sub)
+        ]
+
+    def fast() -> None:
+        module = make_module(CONFIG)
+        model = module.model
+        rows = subarray_rows(module)
+        for sub in range(min(n_subarrays, module.geometry.subarrays_per_bank)):
+            model.population(0, sub)
+        model.reference_hcfirst_array(0, rows, Mechanism.ROWHAMMER)
+        model.reference_hcfirst_array(0, rows, Mechanism.COMRA)
+        model.worst_case_patterns(0, rows, Mechanism.ROWHAMMER)
+
+    def ref() -> None:
+        module = make_module(CONFIG)
+        model = module.model
+        rows = subarray_rows(module)
+        for row in rows:
+            model._profiles[(0, row)] = model._sample_profile(0, row)
+        for row in rows:
+            model.reference_hcfirst(0, row, Mechanism.ROWHAMMER)
+            model.reference_hcfirst(0, row, Mechanism.COMRA)
+            model.worst_case_pattern(0, row, Mechanism.ROWHAMMER)
+
+    fast_s = _timeit(fast, repeats)
+    ref_s = _timeit(ref, max(1, repeats // 2))
+    return {"fast_s": fast_s, "ref_s": ref_s, "speedup": ref_s / fast_s,
+            "params": {"subarrays": n_subarrays}}
+
+
+def bench_fig25_mix_sweep(smoke: bool, repeats: int) -> dict:
+    """Event-queue memory-system engine vs the frozen scan-loop reference.
+
+    A scaled-down Fig. 25 sweep: workload mixes x PuD periods under
+    weighted-PRAC, identical ``SimResult`` streams on both engines.
+    """
+    from repro.mitigations import PracConfig
+
+    mix_count = 2 if smoke else 3
+    periods = (1000.0,) if smoke else (250.0, 1000.0, 4000.0)
+    horizon = 60_000.0 if smoke else 120_000.0
+    mixes = build_mixes(mix_count)
+    prac = PracConfig.po_weighted()
+
+    def sweep(engine) -> None:
+        for mix_id, mix in enumerate(mixes):
+            for period in periods:
+                engine(
+                    mix,
+                    pud=PudWorkloadConfig(period_ns=period),
+                    prac=prac,
+                    config=MemSysConfig(horizon_ns=horizon),
+                    seed=mix_id,
+                ).run()
+
+    fast_s = _timeit(lambda: sweep(MemorySystem), repeats)
+    ref_s = _timeit(lambda: sweep(ScanLoopMemorySystem), max(1, repeats // 2))
+    return {"fast_s": fast_s, "ref_s": ref_s, "speedup": ref_s / fast_s,
+            "params": {"mixes": mix_count, "periods": list(periods),
+                       "horizon_ns": horizon}}
+
+
 BENCHES = {
     "hammer_loop": bench_hammer_loop,
     "hcfirst_search": bench_hcfirst_search,
     "gauntlet_cell": bench_gauntlet_cell,
+    "population_scan": bench_population_scan,
+    "fig25_mix_sweep": bench_fig25_mix_sweep,
 }
 
 

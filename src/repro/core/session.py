@@ -63,6 +63,7 @@ class CharacterizationSession:
         self.bank = bank
         self.controller = TemperatureController(module)
         self.controller.hold(80.0)
+        self._wcdp_cache: dict[tuple[int, Mechanism], DataPattern] = {}
 
     # ------------------------------------------------------------------
     # Environment
@@ -168,8 +169,56 @@ class CharacterizationSession:
         ``'measured'`` runs the paper's four-pattern HC_first comparison.
         """
         if self.scale.wcdp_mode == "oracle":
+            cached = self._wcdp_cache.get((victim, mechanism))
+            if cached is not None:
+                return cached
             return self.module.model.worst_case_pattern(self.bank, victim, mechanism)
         return self.measure_wcdp(victim, mechanism)
+
+    def prefetch_wcdp(
+        self, victims: Sequence[int], mechanism: Mechanism
+    ) -> None:
+        """Resolve many victims' oracle WCDPs in one vectorized pass.
+
+        Experiments that sweep a victim list call this once up front; the
+        per-victim :meth:`wcdp` calls inside the sweep then hit the cache
+        instead of re-deriving each pattern row by row.  No-op in
+        ``'measured'`` mode, where WCDP comes from real HC_first searches.
+        """
+        if self.scale.wcdp_mode != "oracle":
+            return
+        pending = [
+            v for v in victims if (v, mechanism) not in self._wcdp_cache
+        ]
+        if not pending:
+            return
+        best = self.module.model.worst_case_patterns(
+            self.bank, pending, mechanism
+        )
+        for victim, pattern in zip(pending, best):
+            self._wcdp_cache[(victim, mechanism)] = pattern
+
+    def rank_victims(
+        self,
+        victims: Sequence[int],
+        mechanism: Mechanism,
+        simra_count: int = 4,
+    ) -> list[int]:
+        """Victims ordered weakest first by the vectorized HC_first oracle.
+
+        Lets scaled-down experiments spend their measurement budget on the
+        most vulnerable rows (the ones the paper's exhaustive sweeps would
+        report) instead of an arbitrary prefix of the candidate list.
+        Ties keep the input order (stable sort).
+        """
+        victims = list(victims)
+        if not victims:
+            return []
+        hc = self.module.model.reference_hcfirst_array(
+            self.bank, victims, mechanism, simra_count=simra_count
+        )
+        order = np.argsort(hc, kind="stable")
+        return [victims[int(i)] for i in order]
 
     def measure_wcdp(self, victim: int, mechanism: Mechanism) -> DataPattern:
         """Measure WCDP the way the paper does: four coarse searches."""

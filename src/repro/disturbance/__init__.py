@@ -43,6 +43,7 @@ from .model import (
     RowProfile,
     classify_pattern,
 )
+from .population import PopulationTable, sample_population
 from .retention import RetentionModel
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "Mechanism",
     "MixtureRatio",
     "ModuleCalibration",
+    "PopulationTable",
     "REFERENCE_TEMPERATURE_C",
     "RetentionModel",
     "RowProfile",
@@ -70,6 +72,7 @@ __all__ = [
     "normal_cdf",
     "normal_ppf",
     "rng_for",
+    "sample_population",
     "solve_ratio_lognormal",
     "stable_seed",
     "vendor_calibration",

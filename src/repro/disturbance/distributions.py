@@ -235,6 +235,19 @@ class MixtureRatio:
             return float(self.hi.sample(rng))
         return float(self.lo.sample(rng))
 
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Bulk mixture draw for the population sampler.
+
+        Draw order — one uniform vector picking the component, then the
+        full ``hi`` vector, then the full ``lo`` vector — is part of the
+        deterministic stream contract: reordering would change every
+        sampled population.
+        """
+        pick_hi = rng.random(size) < self.p_hi
+        hi = np.asarray(self.hi.sample(rng, size), dtype=float)
+        lo = np.asarray(self.lo.sample(rng, size), dtype=float)
+        return np.where(pick_hi, hi, lo)
+
     @property
     def mean_inverse(self) -> float:
         """Analytic ``E[1/r]`` of the mixture (used by calibration tests)."""

@@ -28,8 +28,9 @@ module is a reproducible virtual chip.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -60,6 +61,7 @@ from .distributions import (
     rng_for,
     solve_ratio_lognormal,
 )
+from .population import PopulationTable, sample_population
 
 #: Opposite-neighbor hits within this many victim-hit events count as
 #: double-sided synergy (alternating double-sided patterns always qualify).
@@ -153,7 +155,10 @@ class DisturbanceModel:
             )
 
         self._profiles: dict[tuple[int, int], RowProfile] = {}
+        self._tables: dict[tuple[int, int], PopulationTable] = {}
         self._states: dict[tuple[int, int], _RowState] = {}
+        self._plans: OrderedDict[tuple, list] = OrderedDict()
+        self._flip_orders: dict[tuple[int, int, FlipDirection], np.ndarray] = {}
         self._sentinels = self._assign_sentinels()
 
     # ------------------------------------------------------------------
@@ -197,15 +202,35 @@ class DisturbanceModel:
     # ------------------------------------------------------------------
     # Per-row profile sampling
     # ------------------------------------------------------------------
+    def population(self, bank: int, subarray: int) -> PopulationTable:
+        """The subarray's structure-of-arrays profile table (bulk-sampled)."""
+        key = (bank, subarray)
+        table = self._tables.get(key)
+        if table is None:
+            table = sample_population(self, bank, subarray)
+            self._tables[key] = table
+        return table
+
     def profile(self, bank: int, row: int) -> RowProfile:
+        """Per-row view into the bulk-sampled population table."""
         key = (bank, row)
         prof = self._profiles.get(key)
         if prof is None:
-            prof = self._sample_profile(bank, row)
+            table = self.population(
+                bank, row // self.geometry.rows_per_subarray
+            )
+            prof = table.view(row - table.row_start)
             self._profiles[key] = prof
         return prof
 
     def _sample_profile(self, bank: int, row: int) -> RowProfile:
+        """Scalar per-row sampler, retained as the pre-table reference.
+
+        ~40 scalar RNG draws per row from per-row streams.  The population
+        table replaced it as the source of :meth:`profile`; it survives as
+        the baseline side of the ``population_scan`` hot-path benchmark and
+        as executable documentation of the per-field sampling semantics.
+        """
         cal = self.calibration
         vc = self.vendor_cal
         sentinel = self._sentinels.get((bank, row))
@@ -515,14 +540,20 @@ class DisturbanceModel:
     # handful of dict operations; only double-sided synergy (which depends
     # on interleaving) is resolved at apply time.
 
-    def _plan_cache(self) -> dict:
-        cache = getattr(self, "_plans", None)
-        if cache is None:
-            cache = {}
-            self._plans = cache
-        if len(cache) > 50_000:
-            cache.clear()
-        return cache
+    #: deposit-plan LRU capacity; evictions drop the *least recently used*
+    #: plan only, so a long experiment never loses its hot loop plans at once
+    _PLAN_CACHE_LIMIT = 50_000
+
+    def _plan_lookup(self, key: tuple) -> Optional[list]:
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+        return plan
+
+    def _plan_store(self, key: tuple, plan: list) -> None:
+        self._plans[key] = plan
+        if len(self._plans) > self._PLAN_CACHE_LIMIT:
+            self._plans.popitem(last=False)
 
     @staticmethod
     def _event_time_key(event: ActivationEvent) -> tuple:
@@ -590,11 +621,10 @@ class DisturbanceModel:
             "single", event.bank, aggressor, temperature_c, aggressor_pattern,
             self._event_time_key(event),
         )
-        cache = self._plan_cache()
-        plan = cache.get(key)
+        plan = self._plan_lookup(key)
         if plan is None:
             plan = self._build_single_plan(event, temperature_c, aggressor_pattern)
-            cache[key] = plan
+            self._plan_store(key, plan)
         self._apply_plan(plan, times)
 
     def _build_single_plan(
@@ -633,11 +663,10 @@ class DisturbanceModel:
             "comra", event.bank, event.rows, temperature_c, aggressor_pattern,
             self._event_time_key(event),
         )
-        cache = self._plan_cache()
-        plan = cache.get(key)
+        plan = self._plan_lookup(key)
         if plan is None:
             plan = self._build_comra_plan(event, temperature_c, aggressor_pattern)
-            cache[key] = plan
+            self._plan_store(key, plan)
         self._apply_plan(plan, times)
 
     def _build_comra_plan(
@@ -707,11 +736,10 @@ class DisturbanceModel:
             "simra", event.bank, event.rows, temperature_c, aggressor_pattern,
             self._event_time_key(event),
         )
-        cache = self._plan_cache()
-        plan = cache.get(key)
+        plan = self._plan_lookup(key)
         if plan is None:
             plan = self._build_simra_plan(event, temperature_c, aggressor_pattern)
-            cache[key] = plan
+            self._plan_store(key, plan)
         self._apply_plan(plan, times)
 
     def _build_simra_plan(
@@ -781,34 +809,6 @@ class DisturbanceModel:
             * self._pattern_factor(prof, mechanism, aggressor_pattern)
             * self._region_factor(prof, mechanism, simra_count)
         )
-
-    def _note_hit(self, bank: int, victim: int, side: int) -> bool:
-        """Record a hit from ``side`` and report double-sided synergy."""
-        state = self._state(bank, victim)
-        state.hit_counter += 1
-        state.last_side_hit[side] = state.hit_counter
-        other = state.last_side_hit.get(-side)
-        return other is not None and state.hit_counter - other <= SYNERGY_HIT_WINDOW
-
-    def _deposit(
-        self,
-        bank: int,
-        victim: int,
-        prof: RowProfile,
-        mechanism: Mechanism,
-        weight: float,
-        times: int,
-    ) -> None:
-        if weight <= 0:
-            return
-        state = self._state(bank, victim)
-        dominant = self.vendor_cal.dominant_direction[mechanism]
-        ratio = max(prof.direction_ratio.get(mechanism, 1.0), 1.0)
-        increment = weight * times / prof.hc_ref
-        dom_key = (mechanism, dominant)
-        oth_key = (mechanism, dominant.opposite)
-        state.damage[dom_key] = state.damage.get(dom_key, 0.0) + increment
-        state.damage[oth_key] = state.damage.get(oth_key, 0.0) + increment / ratio
 
     # ------------------------------------------------------------------
     # Bitflip materialization
@@ -893,20 +893,15 @@ class DisturbanceModel:
         return flipped
 
     def _flip_order(self, bank: int, row: int, direction: FlipDirection) -> np.ndarray:
-        cache_name = "_flip_orders"
-        cache = getattr(self, cache_name, None)
-        if cache is None:
-            cache = {}
-            setattr(self, cache_name, cache)
         key = (bank, row, direction)
-        order = cache.get(key)
+        order = self._flip_orders.get(key)
         if order is None:
             rng = rng_for(
                 self.calibration.config_id, self.serial, bank, row,
                 "flip-order", direction.value,
             )
             order = rng.permutation(self.geometry.columns)
-            cache[key] = order
+            self._flip_orders[key] = order
         return order
 
     # ------------------------------------------------------------------
@@ -965,6 +960,144 @@ class DisturbanceModel:
             return coupling * direction_weight
 
         return max(ALL_PATTERNS, key=effectiveness)
+
+    # ------------------------------------------------------------------
+    # Vectorized oracles (whole population-table slices at once)
+    # ------------------------------------------------------------------
+    def _gather(self, bank: int, rows: Sequence[int]):
+        """Group ``rows`` by subarray while preserving input order.
+
+        Yields ``(table, offsets, positions)``: ``offsets`` index into the
+        subarray's population table; ``positions`` index into the caller's
+        output array, so scattered writes reassemble the input order.
+        """
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        subs = rows_arr // self.geometry.rows_per_subarray
+        for sub in np.unique(subs):
+            positions = np.nonzero(subs == sub)[0]
+            table = self.population(bank, int(sub))
+            yield table, rows_arr[positions] - table.row_start, positions
+
+    def _pattern_stacks(
+        self, table: PopulationTable, mechanism: Mechanism, offsets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pattern ``(coupling, effectiveness)`` stacks, shape (P, R).
+
+        The float operation order mirrors the scalar ``_pattern_factor`` /
+        ``worst_case_pattern`` pair exactly, so each element is
+        bit-identical to the corresponding scalar result.
+        """
+        vc = self.vendor_cal
+        coupling_table = vc.pattern_coupling.get(mechanism) or {}
+        dominant = vc.dominant_direction[mechanism]
+        inv_ratio = 1.0 / np.maximum(
+            table.direction_ratio[mechanism][offsets], 1.0
+        )
+        coupling = np.empty((len(ALL_PATTERNS), len(offsets)))
+        eff = np.empty_like(coupling)
+        for i, pattern in enumerate(ALL_PATTERNS):
+            coupling[i] = (
+                coupling_table.get(pattern, 0.9)
+                * table.pattern_noise[pattern][offsets]
+            )
+            victim = pattern.negated
+            if victim.ones_fraction in (0.0, 1.0):
+                has_dominant = (
+                    victim.ones_fraction == 1.0
+                    if dominant is FlipDirection.ONE_TO_ZERO
+                    else victim.ones_fraction == 0.0
+                )
+                eff[i] = coupling[i] if has_dominant else coupling[i] * inv_ratio
+            else:
+                eff[i] = coupling[i]
+        return coupling, eff
+
+    def worst_case_patterns(
+        self, bank: int, rows: Sequence[int], mechanism: Mechanism
+    ) -> list[DataPattern]:
+        """Vectorized :meth:`worst_case_pattern` for a batch of rows.
+
+        ``np.argmax`` keeps the first maximal pattern, matching Python's
+        ``max(..., key=...)`` tie-breaking over ``ALL_PATTERNS`` order.
+        """
+        out: list[DataPattern] = [ALL_PATTERNS[0]] * len(rows)
+        for table, offsets, positions in self._gather(bank, rows):
+            _, eff = self._pattern_stacks(table, mechanism, offsets)
+            best = np.argmax(eff, axis=0)
+            for pos, idx in zip(positions, best):
+                out[pos] = ALL_PATTERNS[idx]
+        return out
+
+    def reference_hcfirst_array(
+        self,
+        bank: int,
+        rows: Sequence[int],
+        mechanism: Mechanism,
+        simra_count: int = 4,
+    ) -> np.ndarray:
+        """Vectorized :meth:`reference_hcfirst`: one array op per factor.
+
+        Experiments use this to pre-rank candidate victims; each element
+        equals the scalar oracle's result for the same row bit for bit.
+        """
+        out = np.empty(len(rows))
+        if mechanism is Mechanism.SIMRA and not self.supports_simra:
+            out.fill(math.inf)
+            return out
+        vc = self.vendor_cal
+        if (
+            mechanism is Mechanism.SIMRA
+            and simra_count is not None
+            and simra_count in vc.simra_spatial_by_count
+        ):
+            spatial = vc.simra_spatial_by_count[simra_count]
+        else:
+            spatial = vc.spatial_profile[mechanism]
+        spatial_arr = np.asarray(spatial, dtype=float)
+        for table, offsets, positions in self._gather(bank, rows):
+            region = spatial_arr[table.region_index[offsets]]
+            if mechanism is Mechanism.ROWHAMMER:
+                weight = region
+            elif mechanism is Mechanism.COMRA:
+                weight = table.comra_ratio[offsets] * region
+            else:
+                arr = table.simra_ratio.get(simra_count)
+                if arr is None:
+                    ratio = np.ones(len(offsets))
+                else:
+                    ratio = arr[offsets]
+                    # mirror the scalar path's ``... or 1.0``
+                    ratio = np.where(ratio != 0.0, ratio, 1.0)
+                weight = ratio * region
+            coupling, eff = self._pattern_stacks(table, mechanism, offsets)
+            best = np.argmax(eff, axis=0)
+            weight = weight * coupling[best, np.arange(len(offsets))]
+            out[positions] = table.hc_ref[offsets] / weight
+        return out
+
+    def flip_target_array(
+        self,
+        bank: int,
+        rows: Sequence[int],
+        effective_damage: "float | Sequence[float]",
+    ) -> np.ndarray:
+        """Vectorized :meth:`_flip_target` over a batch of rows.
+
+        ``normal_cdf`` is built on ``math.erf``, which numpy does not
+        expose, so the quantile stays a scalar loop; the vectorized win is
+        the bulk weak-cell gather, multiply and clamp.
+        """
+        sigma = self.vendor_cal.cell_sigma
+        damage = np.broadcast_to(
+            np.asarray(effective_damage, dtype=float), (len(rows),)
+        )
+        quantile = np.array(
+            [normal_cdf((math.log(d) - 2.5 * sigma) / sigma) for d in damage]
+        )
+        weak = np.empty(len(rows), dtype=np.int64)
+        for table, offsets, positions in self._gather(bank, rows):
+            weak[positions] = table.weak_cells[offsets]
+        return np.maximum(1, (weak * quantile).astype(np.int64))
 
 
 def classify_pattern(data: np.ndarray) -> Optional[DataPattern]:

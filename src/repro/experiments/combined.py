@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.scale import ExperimentScale
+from ..disturbance.calibration import Mechanism
 from .base import ExperimentResult, simra_sessions
 
 FRACTIONS = (0.1, 0.5, 0.9)
@@ -34,7 +35,13 @@ def _run_combined(
     rh_alone: list[float] = []
 
     for session in sessions:
-        victims = session.combined_victims()[:8]
+        # Spend the scaled-down budget on the weakest sandwichable rows
+        # (the ones the paper's exhaustive §6 sweep reports), ranked by
+        # the vectorized HC_first oracle instead of list order.
+        victims = session.rank_victims(
+            session.combined_victims(), Mechanism.ROWHAMMER
+        )[:8]
+        session.prefetch_wcdp(victims, Mechanism.ROWHAMMER)
         for victim in victims:
             for fraction in FRACTIONS:
                 outcome = session.measure_combined(

@@ -40,7 +40,10 @@ def run_fig04(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     changes_all: list[tuple[float, float]] = []
 
     for session in sessions:
-        for victim in session.candidate_victims():
+        victims = session.candidate_victims()
+        session.prefetch_wcdp(victims, Mechanism.ROWHAMMER)
+        session.prefetch_wcdp(victims, Mechanism.COMRA)
+        for victim in victims:
             rh = session.measure_rowhammer_ds(victim)
             comra = session.measure_comra_ds(victim)
             if rh.found:
@@ -385,7 +388,9 @@ def run_fig11(
     for session in sessions:
         vendor = session.module.vendor.value
         by_region: dict[str, list[float]] = defaultdict(list)
-        for victim in session.candidate_victims():
+        victims = session.candidate_victims()
+        session.prefetch_wcdp(victims, Mechanism.COMRA)
+        for victim in victims:
             m = session.measure_comra_ds(victim)
             if m.found:
                 by_region[m.region.value].append(m.hc_first)

@@ -63,6 +63,26 @@ def _initialize(
     return expected
 
 
+def _weakest_victim(
+    module: DramModule, mechanism: Mechanism, bank: int = 0
+) -> Optional[int]:
+    """The bank's weakest interior victim by the vectorized HC_first oracle.
+
+    One bulk oracle evaluation over every sandwichable row replaces the
+    sentinel-row shortcut: the attack lands on the true population minimum
+    even when a sampled row undercuts the pinned sentinel.
+    """
+    geom = module.geometry
+    rows = np.arange(geom.rows_per_bank)
+    offsets = rows % geom.rows_per_subarray
+    interior = rows[(offsets != 0) & (offsets != geom.rows_per_subarray - 1)]
+    hc = module.model.reference_hcfirst_array(bank, interior, mechanism)
+    best = int(np.argmin(hc))
+    if not np.isfinite(hc[best]):
+        return None
+    return int(interior[best])
+
+
 def _victims_of(module: DramModule, aggressors: list[int]) -> list[int]:
     victims: set[int] = set()
     for aggressor in aggressors:
@@ -88,10 +108,9 @@ def _run_technique(
     3) uses a block far from them.
     """
     bank = 0
-    model = module.model
-    rh_sentinel = model.sentinel_row(Mechanism.ROWHAMMER, bank)
-    comra_sentinel = model.sentinel_row(Mechanism.COMRA, bank)
-    simra_sentinel = model.sentinel_row(Mechanism.SIMRA, bank)
+    rh_weakest = _weakest_victim(module, Mechanism.ROWHAMMER, bank)
+    comra_weakest = _weakest_victim(module, Mechanism.COMRA, bank)
+    simra_weakest = _weakest_victim(module, Mechanism.SIMRA, bank)
     base = module.geometry.rows_per_subarray + 32  # subarray 1 interior
     dummy = base + 64
 
@@ -100,8 +119,8 @@ def _run_technique(
 
     if technique.startswith("simra"):
         n_rows = int(technique.split("-")[1])
-        if n_rows != 32 and simra_sentinel is not None:
-            pair = patterns.simra_pair_sandwiching(module, simra_sentinel, n_rows, bank)
+        if n_rows != 32 and simra_weakest is not None:
+            pair = patterns.simra_pair_sandwiching(module, simra_weakest, n_rows, bank)
         else:
             pair = None
         if pair is None:
@@ -122,7 +141,7 @@ def _run_technique(
         else:
             host.run(patterns.simra_hammer(module, pair, hammers, bank))
     elif technique == "comra-2sided":
-        victim_center = comra_sentinel if comra_sentinel is not None else base + 1
+        victim_center = comra_weakest if comra_weakest is not None else base + 1
         aggressors = [victim_center - 1, victim_center + 1]
         victims = _victims_of(module, aggressors)
         expected = _initialize(
@@ -141,7 +160,7 @@ def _run_technique(
             )
     elif technique.startswith("rowhammer"):
         n_sided = int(technique.split("-")[1])
-        anchor = (rh_sentinel - 1) if rh_sentinel is not None else base
+        anchor = (rh_weakest - 1) if rh_weakest is not None else base
         aggressors = [anchor + 2 * i for i in range(n_sided)]
         victims = _victims_of(module, aggressors)
         expected = _initialize(

@@ -3,13 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Optional, Sequence
 
 from ..mitigations.prac import PracConfig
 from ..workloads.mixes import PUD_PERIODS_NS, PudWorkloadConfig, WorkloadMix, build_mixes
 from ..workloads.profiles import WorkloadProfile
-from .system import MemSysConfig, MemorySystem, SimResult
+from .system import MemSysConfig, MemorySystem, SimResult, alone_ipc
 
 
 @dataclass
@@ -41,16 +40,11 @@ class Fig25Evaluation:
     mix_count: int = 60
     periods_ns: Sequence[float] = PUD_PERIODS_NS
     config: MemSysConfig = field(default_factory=MemSysConfig)
-    _alone_cache: dict[str, float] = field(default_factory=dict)
 
     def _alone_ipc(self, profile: WorkloadProfile) -> float:
-        cached = self._alone_cache.get(profile.name)
-        if cached is None:
-            mix = WorkloadMix(mix_id=-1, profiles=(profile,))
-            system = MemorySystem(mix, pud=None, prac=None, config=self.config)
-            cached = system.run().ipc_per_core[0]
-            self._alone_cache[profile.name] = cached
-        return cached
+        # shares the module-level cache in .system, keyed on
+        # (profile name, config fields, seed)
+        return alone_ipc(profile, config=self.config)
 
     def _run(
         self,

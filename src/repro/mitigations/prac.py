@@ -142,6 +142,7 @@ class PracCounters:
         self.warm_start = warm_start
         self._counters: dict[int, int] = {}
         self._pending_backoff: Optional[BackOffEvent] = None
+        self._act_weight = config.weight_for(OpClass.ACT)
         self.stats = {"updates": 0, "backoffs": 0, "rfms": 0}
 
     def _initial(self, row: int) -> int:
@@ -169,22 +170,42 @@ class PracCounters:
         (zero for parallel organizations; one update's worth -- the
         repetitions share the already-open counter word).
         """
-        weight = self.config.weight_for(op) * max(1, int(times))
+        config = self.config
+        weight = config.weight_for(op) * max(1, int(times))
+        counters = self._counters
+        get = counters.get
+        initial = self._initial
         hottest_row = -1
         hottest = -1
         for row in rows:
-            value = self._counters.get(row)
+            value = get(row)
             if value is None:
-                value = self._initial(row)
+                value = initial(row)
             value += weight
-            self._counters[row] = value
-            self.stats["updates"] += 1
+            counters[row] = value
             if value > hottest:
                 hottest, hottest_row = value, row
-        if hottest >= self.config.rdt and self._pending_backoff is None:
+        self.stats["updates"] += len(rows)
+        if hottest >= config.rdt and self._pending_backoff is None:
             self._pending_backoff = BackOffEvent(self.bank, hottest_row, hottest)
             self.stats["backoffs"] += 1
-        return self.config.update_latency_ns(len(rows))
+        return config.update_latency_ns(len(rows))
+
+    def record_act(self, row: int) -> None:
+        """Single-row ACT fast path for the memory-system hot loop.
+
+        Equivalent to ``record([row], OpClass.ACT)`` minus the latency
+        computation, which is always zero for a single row.
+        """
+        value = self._counters.get(row)
+        if value is None:
+            value = self._initial(row)
+        value += self._act_weight
+        self._counters[row] = value
+        self.stats["updates"] += 1
+        if value >= self.config.rdt and self._pending_backoff is None:
+            self._pending_backoff = BackOffEvent(self.bank, row, value)
+            self.stats["backoffs"] += 1
 
     def serve_rfm(self) -> list[int]:
         """The controller issued RFM: refresh victims, clear hot counters.

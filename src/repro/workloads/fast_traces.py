@@ -1,0 +1,258 @@
+"""Batched, bit-identical replacement for :class:`TraceGenerator`.
+
+``TraceGenerator.__next__`` makes three to four scalar calls on a numpy
+``Generator`` per trace entry (geometric gap, Lemire-bounded bank/row
+integers, locality/write uniforms), and the §8.2 memory-system simulator
+consumes tens of thousands of entries per run.  Scalar ``Generator``
+calls are ~1--3 microseconds each, almost all dispatch overhead.
+
+:class:`BatchedTraceGenerator` produces the *same entry stream, bit for
+bit*, by pulling raw 64-bit words from the underlying PCG64 in bulk
+(``bit_generator.random_raw``) and replaying numpy's own scalar
+algorithms in plain Python arithmetic:
+
+* ``random()``      -> ``(word >> 11) * 2**-53``
+* ``integers(0,n)`` -> Lemire multiply-shift on 32-bit halves, low half
+  first, with the spare half buffered across calls exactly like
+  PCG64's internal ``next_uint32`` buffer (power-of-two ``n`` only, so
+  the rejection loop never triggers)
+* ``geometric(p)``  -> ``ceil(-E / log1p(-p))`` where ``E`` replays the
+  256-layer ziggurat of ``random_standard_exponential`` using the
+  tables in :mod:`._ziggurat` (inversion path only, i.e. ``p < 1/3``)
+
+Because this mirrors numpy internals, it could silently diverge on a
+numpy build with different tables or bounded-integer algorithms.  Guard:
+the first construction runs :func:`emulation_matches`, which compares a
+few thousand emulated entries against the scalar ``TraceGenerator``; on
+any mismatch -- or for profiles outside the emulatable envelope --
+instances transparently delegate to the scalar implementation, trading
+speed for unconditional correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ._ziggurat import FE_DOUBLE, KE_DOUBLE, WE_DOUBLE, ZIGGURAT_EXP_R
+from .profiles import WorkloadProfile
+from .traces import TraceEntry, TraceGenerator
+
+import math
+
+_TWO53 = 2.0 ** -53
+#: raw words fetched per refill; one trace entry consumes ~3.5 words
+_BLOCK_WORDS = 4096
+#: entries compared against the scalar path by the one-time self-check
+_SELFCHECK_ENTRIES = 2048
+
+_emulation_ok: Optional[bool] = None
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class BatchedTraceGenerator:
+    """Drop-in ``TraceGenerator`` yielding the identical entry stream.
+
+    Entries are precomputed in blocks as plain ``(gap, bank, row,
+    is_write)`` tuples; :meth:`next_tuple` hands them out without
+    constructing :class:`TraceEntry` objects (the memsys hot path),
+    while ``__next__`` keeps the iterator-of-``TraceEntry`` contract.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 0,
+        rows_per_bank: int = 4096,
+        working_set_rows: int = 512,
+    ) -> None:
+        self.profile = profile
+        self.rows_per_bank = rows_per_bank
+        self.working_set_rows = min(working_set_rows, rows_per_bank)
+        mean_gap = 1000.0 / profile.mpki
+        p = 1.0 / max(1.0, mean_gap)
+        emulatable = (
+            emulation_matches()
+            and p < 0.333333  # numpy switches geometric to its search path
+            and _is_pow2(profile.bank_spread)
+            and _is_pow2(self.working_set_rows)
+        )
+        self._scalar: Optional[TraceGenerator] = None
+        # the pending buffer always exists (empty in fallback mode) so hot
+        # loops may read it directly and call next_tuple() only on exhaustion
+        self._pending: list[tuple[int, int, int, bool]] = []
+        self._pending_pos = 0
+        if not emulatable:
+            self._scalar = TraceGenerator(
+                profile, seed=seed, rows_per_bank=rows_per_bank,
+                working_set_rows=working_set_rows,
+            )
+            return
+        scalar = TraceGenerator(
+            profile, seed=seed, rows_per_bank=rows_per_bank,
+            working_set_rows=working_set_rows,
+        )
+        self._bitgen = scalar._rng.bit_generator
+        self._p_denom = math.log1p(-p)
+        self._words: list[int] = []
+        self._pos = 0
+        self._half: Optional[int] = None
+        self._last: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        """Precompute one block of entries from bulk raw words.
+
+        Replays the exact per-entry draw sequence of
+        ``TraceGenerator.__next__``: geometric gap, bank, an optional
+        locality uniform, an optional row draw, then the write uniform.
+        """
+        profile = self.profile
+        spread = profile.bank_spread
+        working_set = self.working_set_rows
+        locality = profile.row_locality
+        read_fraction = profile.read_fraction
+        denom = self._p_denom
+        last = self._last
+        half = self._half
+        words = self._words
+        pos = self._pos
+        n_words = len(words)
+        bitgen = self._bitgen
+        we, ke, fe = WE_DOUBLE, KE_DOUBLE, FE_DOUBLE
+        log1p, exp, ceil = math.log1p, math.exp, math.ceil
+        out = []
+        for _ in range(_BLOCK_WORDS // 4):
+            # geometric gap via the ziggurat standard exponential
+            while True:
+                if pos >= n_words:
+                    words = bitgen.random_raw(_BLOCK_WORDS).tolist()
+                    pos, n_words = 0, _BLOCK_WORDS
+                ri = words[pos] >> 3
+                pos += 1
+                idx = ri & 0xFF
+                ri >>= 8
+                x = ri * we[idx]
+                if ri < ke[idx]:
+                    break
+                if pos >= n_words:
+                    words = bitgen.random_raw(_BLOCK_WORDS).tolist()
+                    pos, n_words = 0, _BLOCK_WORDS
+                u = (words[pos] >> 11) * _TWO53
+                pos += 1
+                if idx == 0:
+                    x = ZIGGURAT_EXP_R - log1p(-u)
+                    break
+                if (fe[idx - 1] - fe[idx]) * u + fe[idx] < exp(-x):
+                    break
+            gap = ceil(-x / denom)
+            # bank: Lemire-bounded 32-bit draw, low half first
+            if half is None:
+                if pos >= n_words:
+                    words = bitgen.random_raw(_BLOCK_WORDS).tolist()
+                    pos, n_words = 0, _BLOCK_WORDS
+                w = words[pos]
+                pos += 1
+                bank = ((w & 0xFFFFFFFF) * spread) >> 32
+                half = w >> 32
+            else:
+                bank = (half * spread) >> 32
+                half = None
+            # row: locality uniform only once the bank has history
+            last_row = last.get(bank)
+            row = -1
+            if last_row is not None:
+                if pos >= n_words:
+                    words = bitgen.random_raw(_BLOCK_WORDS).tolist()
+                    pos, n_words = 0, _BLOCK_WORDS
+                if (words[pos] >> 11) * _TWO53 < locality:
+                    row = last_row
+                pos += 1
+            if row < 0:
+                if half is None:
+                    if pos >= n_words:
+                        words = bitgen.random_raw(_BLOCK_WORDS).tolist()
+                        pos, n_words = 0, _BLOCK_WORDS
+                    w = words[pos]
+                    pos += 1
+                    row = ((w & 0xFFFFFFFF) * working_set) >> 32
+                    half = w >> 32
+                else:
+                    row = (half * working_set) >> 32
+                    half = None
+            last[bank] = row
+            # read/write split
+            if pos >= n_words:
+                words = bitgen.random_raw(_BLOCK_WORDS).tolist()
+                pos, n_words = 0, _BLOCK_WORDS
+            is_write = (words[pos] >> 11) * _TWO53 > read_fraction
+            pos += 1
+            out.append((gap, bank, row, is_write))
+        self._words = words
+        self._pos = pos
+        self._half = half
+        self._pending = out
+        self._pending_pos = 0
+
+    def next_tuple(self) -> tuple[int, int, int, bool]:
+        """Next entry as a ``(gap, bank, row, is_write)`` tuple."""
+        if self._scalar is not None:
+            entry = next(self._scalar)
+            return (entry.gap_instructions, entry.bank, entry.row,
+                    entry.is_write)
+        if self._pending_pos >= len(self._pending):
+            self._refill()
+        entry = self._pending[self._pending_pos]
+        self._pending_pos += 1
+        return entry
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return self
+
+    def __next__(self) -> TraceEntry:
+        if self._scalar is not None:
+            return next(self._scalar)
+        gap, bank, row, is_write = self.next_tuple()
+        return TraceEntry(gap, bank, row, is_write)
+
+
+def emulation_matches() -> bool:
+    """One-time check that the word-level emulation matches numpy.
+
+    Compares a few thousand entries from ``BatchedTraceGenerator``
+    against the scalar ``TraceGenerator`` for a probe profile chosen to
+    exercise every draw path (locality hits and misses, reads and
+    writes, ziggurat overflow layers).  Cached after the first call.
+    """
+    global _emulation_ok
+    if _emulation_ok is None:
+        probe = WorkloadProfile(
+            "fast-trace-selfcheck", "internal", mpki=30.0,
+            row_locality=0.5, bank_spread=4, read_fraction=0.67,
+        )
+        scalar = TraceGenerator(probe, seed=12345)
+        batched = BatchedTraceGenerator.__new__(BatchedTraceGenerator)
+        batched.profile = probe
+        batched.rows_per_bank = 4096
+        batched.working_set_rows = 512
+        batched._scalar = None
+        batched._bitgen = TraceGenerator(probe, seed=12345)._rng.bit_generator
+        batched._p_denom = math.log1p(-probe.mpki / 1000.0)
+        batched._words = []
+        batched._pos = 0
+        batched._half = None
+        batched._last = {}
+        batched._pending = []
+        batched._pending_pos = 0
+        try:
+            _emulation_ok = all(
+                batched.next_tuple()
+                == ((e := next(scalar)).gap_instructions, e.bank, e.row,
+                    e.is_write)
+                for _ in range(_SELFCHECK_ENTRIES)
+            )
+        except Exception:
+            _emulation_ok = False
+    return _emulation_ok

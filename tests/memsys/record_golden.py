@@ -1,0 +1,72 @@
+"""Record golden fixed-seed SimResults for the memory-system simulator.
+
+Run from the repo root to (re)generate ``golden_simresults.json``::
+
+    PYTHONPATH=src python tests/memsys/record_golden.py
+
+The committed fixture was recorded from the original scan-loop
+``MemorySystem.run`` implementation immediately before it was replaced by
+the event-queue engine; the golden test asserts the rewrite reproduces
+those results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.memsys import MemSysConfig, MemorySystem
+from repro.mitigations import PracConfig
+from repro.workloads import PudWorkloadConfig, build_mixes
+
+SCENARIOS = [
+    # (name, mix_id, period_ns, prac, seed, horizon_ns)
+    ("mix0-nopud-noprac", 0, None, None, 0, 60_000.0),
+    ("mix0-pud1000-noprac", 0, 1000.0, None, 0, 60_000.0),
+    ("mix0-pud1000-naive", 0, 1000.0, "naive", 0, 60_000.0),
+    ("mix0-pud1000-wc", 0, 1000.0, "wc", 0, 60_000.0),
+    ("mix1-pud250-wc", 1, 250.0, "wc", 1, 60_000.0),
+    ("mix1-pud4000-naive", 1, 4000.0, "naive", 7, 60_000.0),
+    ("mix2-pud125-wc", 2, 125.0, "wc", 2, 120_000.0),
+    ("mix2-nopud-wc", 2, None, "wc", 3, 60_000.0),
+]
+
+PRACS = {
+    None: None,
+    "naive": PracConfig.po_naive(),
+    "wc": PracConfig.po_weighted(),
+}
+
+
+def record() -> dict:
+    mixes = build_mixes(3)
+    golden = {}
+    for name, mix_id, period, prac_name, seed, horizon in SCENARIOS:
+        pud = PudWorkloadConfig(period_ns=period) if period is not None else None
+        system = MemorySystem(
+            mixes[mix_id],
+            pud=pud,
+            prac=PRACS[prac_name],
+            config=MemSysConfig(horizon_ns=horizon),
+            seed=seed,
+        )
+        result = system.run()
+        golden[name] = {
+            "mix_id": mix_id,
+            "period_ns": period,
+            "prac": prac_name,
+            "seed": seed,
+            "horizon_ns": horizon,
+            "ipc_per_core": result.ipc_per_core,
+            "pud_ops_completed": result.pud_ops_completed,
+            "backoffs": result.backoffs,
+            "elapsed_ns": result.elapsed_ns,
+            "requests_served": result.requests_served,
+        }
+    return golden
+
+
+if __name__ == "__main__":
+    path = Path(__file__).parent / "golden_simresults.json"
+    path.write_text(json.dumps(record(), indent=2) + "\n")
+    print(f"wrote {path}")

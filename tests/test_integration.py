@@ -71,7 +71,14 @@ class TestFullWorkflow:
         module = make_module("hynix-a-8gb")
         module.attach_trr(SamplingTrr(seed=0))
         host = DramBenderHost(module)
-        pair = patterns.simra_pair_for(module, 64, 4)
+        # Sandwich the SiMRA sentinel (the Table 2 minimum row) so the
+        # scaled-down module reproduces the headline bypass regardless of
+        # how the surrounding population samples.
+        sentinel = module.model.sentinel_row(Mechanism.SIMRA)
+        block = (sentinel // 32) * 32
+        pair = patterns.simra_pair_for(
+            module, block, 4, anchor_offset=sentinel % 32 - 1
+        )
         victims = pair.sandwiched_victims()
         nbytes = module.geometry.row_bytes
         rows = {module.to_logical(r): DataPattern.ALL_ZEROS.fill(nbytes)
