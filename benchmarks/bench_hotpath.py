@@ -219,12 +219,35 @@ def bench_fig25_mix_sweep(smoke: bool, repeats: int) -> dict:
                        "horizon_ns": horizon}}
 
 
+def bench_pud_reliability(smoke: bool, repeats: int) -> dict:
+    """One reliability workload under the oracle, fast host vs reference.
+
+    ``execute_workload`` lowers the memcpy sweep to pure-loop programs, so
+    the compiled command-stream engine carries the sustained portion; the
+    reference side interprets every command.
+    """
+    from repro.reliability import build_defense, build_workloads, execute_workload
+
+    reps = 6_000 if smoke else 36_000
+
+    def run(fast: bool) -> None:
+        module = make_module(CONFIG)
+        workload = build_workloads(module, reps, include=["memcpy-sweep"])[0]
+        execute_workload(module, workload, build_defense("none"), fast=fast)
+
+    fast_s = _timeit(lambda: run(True), repeats)
+    ref_s = _timeit(lambda: run(False), max(1, repeats // 2))
+    return {"fast_s": fast_s, "ref_s": ref_s, "speedup": ref_s / fast_s,
+            "params": {"reps": reps, "workload": "memcpy-sweep"}}
+
+
 BENCHES = {
     "hammer_loop": bench_hammer_loop,
     "hcfirst_search": bench_hcfirst_search,
     "gauntlet_cell": bench_gauntlet_cell,
     "population_scan": bench_population_scan,
     "fig25_mix_sweep": bench_fig25_mix_sweep,
+    "pud_reliability": bench_pud_reliability,
 }
 
 

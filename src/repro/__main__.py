@@ -11,11 +11,15 @@ Subcommands:
   campaign store (computes only what is missing)
 * ``attack``                    -- synthesize TRR-aware PuD attacks and run
   the mitigation gauntlet (through the campaign store, resumable)
+* ``reliability``               -- run PuD application kernels under the
+  corruption oracle and the integrity-defense matrix (through the
+  campaign store, resumable)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .analysis.report import generate_report
@@ -110,13 +114,86 @@ def _run_attack(parser: argparse.ArgumentParser, args) -> int:
     return 1 if summary.failures else 0
 
 
+def _run_reliability(parser: argparse.ArgumentParser, args) -> int:
+    from .campaign.shards import ALL_CONFIGS
+    from .reliability import DEFENSES, WORKLOAD_NAMES
+
+    scale = _SCALES[args.scale]()
+    unknown = [c for c in args.configs or [] if c not in ALL_CONFIGS]
+    if unknown:
+        parser.error(
+            f"unknown configs: {', '.join(unknown)} "
+            f"(known: {', '.join(ALL_CONFIGS)})"
+        )
+    unknown = [d for d in args.defenses or [] if d not in DEFENSES]
+    if unknown:
+        parser.error(
+            f"unknown defenses: {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(DEFENSES))})"
+        )
+    unknown = [w for w in args.workloads or [] if w not in WORKLOAD_NAMES]
+    if unknown:
+        parser.error(
+            f"unknown workloads: {', '.join(unknown)} "
+            f"(known: {', '.join(WORKLOAD_NAMES)})"
+        )
+
+    if args.defenses or args.workloads:
+        # a hand-picked slice of the matrix is exploratory: run it directly
+        # and skip the store, whose keys only describe full-matrix cells
+        result = run_experiment(
+            "pud_reliability",
+            scale,
+            config_ids=args.configs,
+            workloads=args.workloads,
+            defenses=args.defenses,
+        )
+        result.print()
+        return 0
+
+    runner = CampaignRunner(
+        store=ArtifactStore(args.output),
+        scale=scale,
+        jobs=args.jobs,
+        granularity="session",
+        force=args.force,
+        stream=None if args.quiet else sys.stderr,
+        shard_filter=args.configs,
+    )
+    summary = runner.run(["pud_reliability"])
+    result = summary.results.get("pud_reliability")
+    if result is not None:
+        result.print()
+    print(
+        f"campaign {summary.run_id}: "
+        f"{summary.executed} executed, {summary.cached} cached, "
+        f"{summary.failed} failed in {summary.total_elapsed:.1f}s"
+    )
+    print(f"artifacts: {runner.store.root}")
+    for experiment_id, error in summary.failures.items():
+        print(f"FAILED {experiment_id}: {error}", file=sys.stderr)
+    return 1 if summary.failures else 0
+
+
+def _experiment_description(runner) -> str:
+    """First line of the runner's docstring, the one-line description."""
+    doc = (runner.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="PuDHammer reproduction harness"
     )
     subcommands = parser.add_subparsers(dest="command", required=True)
 
-    subcommands.add_parser("list", help="list registered experiments")
+    list_parser = subcommands.add_parser(
+        "list", help="list registered experiments"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a JSON array of {id, description} objects",
+    )
 
     run_parser = subcommands.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
@@ -173,6 +250,30 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress progress events"
     )
 
+    reliability_parser = subcommands.add_parser(
+        "reliability",
+        help="run PuD kernels under the corruption oracle and defense matrix",
+    )
+    reliability_parser.add_argument(
+        "--configs", nargs="+", metavar="ID", default=None,
+        help="module configurations to test (default: one per vendor)",
+    )
+    reliability_parser.add_argument(
+        "--defenses", nargs="+", metavar="NAME", default=None,
+        help="defense subset (default: the scale preset's matrix); "
+             "bypasses the campaign store",
+    )
+    reliability_parser.add_argument(
+        "--workloads", nargs="+", metavar="NAME", default=None,
+        help="workload subset (e.g. memcpy-sweep quac-stream); "
+             "bypasses the campaign store",
+    )
+    _scale_arg(reliability_parser)
+    _store_args(reliability_parser)
+    reliability_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress events"
+    )
+
     args = parser.parse_args(argv)
     if args.command in ("campaign", "report"):
         unknown = [i for i in args.experiment_ids or [] if i not in EXPERIMENTS]
@@ -182,8 +283,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"(see `repro list`)"
             )
     if args.command == "list":
-        for experiment_id in sorted(EXPERIMENTS):
-            print(experiment_id)
+        if args.as_json:
+            print(json.dumps(
+                [
+                    {
+                        "id": experiment_id,
+                        "description": _experiment_description(
+                            EXPERIMENTS[experiment_id]
+                        ),
+                    }
+                    for experiment_id in sorted(EXPERIMENTS)
+                ],
+                indent=2,
+            ))
+        else:
+            for experiment_id in sorted(EXPERIMENTS):
+                print(experiment_id)
         return 0
     if args.command == "run":
         result = run_experiment(args.experiment_id, _SCALES[args.scale]())
@@ -212,6 +327,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if summary.failures else 0
     if args.command == "attack":
         return _run_attack(parser, args)
+    if args.command == "reliability":
+        return _run_reliability(parser, args)
     if args.command == "report":
         report = generate_report(
             scale=_SCALES[args.scale](),

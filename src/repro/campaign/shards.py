@@ -34,6 +34,7 @@ SESSION_SHARDED: dict[str, tuple[str, ...]] = {
     "fig09": REPRESENTATIVE_CONFIGS,
     "fig11": REPRESENTATIVE_CONFIGS,
     "attack_surface": REPRESENTATIVE_CONFIGS,
+    "pud_reliability": REPRESENTATIVE_CONFIGS,
 }
 
 GRANULARITIES = ("auto", "experiment", "session")

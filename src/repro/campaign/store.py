@@ -62,6 +62,8 @@ EXPERIMENT_SUBSYSTEM_DEPS: dict[str, tuple[str, ...]] = {
     "fig24": ("trr",),
     "fig25": ("memsys", "mitigations", "workloads"),
     "attack_surface": ("attack", "mitigations", "trr"),
+    "pud_reliability": ("memsys", "mitigations", "pud", "reliability",
+                        "workloads"),
 }
 
 

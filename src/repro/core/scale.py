@@ -49,6 +49,21 @@ class ExperimentScale:
         "compute-region",
         "clustered-decoder",
     )
+    #: sustained repetitions per reliability kernel (``pud_reliability``);
+    #: crossing a victim's HC_first is what turns PuD traffic into
+    #: corruption, so this knob sets how deep into Table 2's minima the
+    #: workloads push
+    reliability_reps: int = 36_000
+    #: QUAC-TRNG harvest rounds per sustained entropy stream
+    reliability_trng_rounds: int = 384
+    #: defense matrix ``pud_reliability`` evaluates (names resolved by
+    #: ``repro.reliability.build_defense``)
+    reliability_defenses: tuple[str, ...] = (
+        "none",
+        "ecc-sec",
+        "verify-retry",
+        "guard-rows",
+    )
 
     @classmethod
     def smoke(cls) -> "ExperimentScale":
@@ -62,13 +77,15 @@ class ExperimentScale:
             attack_mitigations=(
                 "none", "sampling-trr", "prac-po-wc", "compute-region",
             ),
+            reliability_reps=6_000, reliability_trng_rounds=64,
         )
 
     @classmethod
     def small(cls) -> "ExperimentScale":
         """Smallest meaningful run, used by unit/integration tests."""
         return cls(subarrays=(0, 2), row_step=23, simra_groups=2,
-                   trr_hammers=40_000, attack_acts=60_000)
+                   trr_hammers=40_000, attack_acts=60_000,
+                   reliability_reps=12_000, reliability_trng_rounds=128)
 
     @classmethod
     def default(cls) -> "ExperimentScale":
@@ -87,6 +104,8 @@ class ExperimentScale:
             wcdp_mode="measured",
             trr_hammers=500_000,
             attack_acts=500_000,
+            reliability_reps=120_000,
+            reliability_trng_rounds=2_000,
         )
 
     def with_overrides(self, **overrides) -> "ExperimentScale":

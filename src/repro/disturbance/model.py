@@ -930,6 +930,30 @@ class DisturbanceModel:
         weight *= self._pattern_factor(prof, mechanism, best_pattern)
         return prof.hc_ref / weight
 
+    def reference_hcfirst_simra_edge(
+        self, bank: int, row: int, simra_count: int = 4
+    ) -> float:
+        """Analytic HC_first for a *single-sided* SiMRA group-edge victim.
+
+        :meth:`reference_hcfirst` models the sandwiched interior victim of
+        a co-activation; rows adjacent to a group's outer edge see only
+        one aggressor wordline and are weighted ``0.5 * simra_ss_mult``
+        instead of the sandwiched ratio.  Reliability workloads that park
+        data next to a SiMRA group use this for honest weakest-victim
+        predictions.
+        """
+        if not self.supports_simra:
+            return math.inf
+        prof = self.profile(bank, row)
+        region = self._region_factor(prof, Mechanism.SIMRA, simra_count)
+        ss_mult = self.vendor_cal.simra_ss_mult.get(simra_count, 1.0)
+        weight = 0.5 * ss_mult * region
+        best_pattern = self.worst_case_pattern(bank, row, Mechanism.SIMRA)
+        weight *= self._pattern_factor(prof, Mechanism.SIMRA, best_pattern)
+        if weight <= 0:
+            return math.inf
+        return prof.hc_ref / weight
+
     def worst_case_pattern(
         self, bank: int, row: int, mechanism: Mechanism
     ) -> DataPattern:

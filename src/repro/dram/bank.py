@@ -176,6 +176,21 @@ class Bank:
         self._frac.discard(row)
         self.model.restore_row(self.index, row)
 
+    def probe_row(self, row: int, now_ns: float) -> np.ndarray:
+        """Analysis hook: what the *next nominal read* of ``row`` would see.
+
+        Unlike :meth:`backdoor_read` this materializes pending disturbance
+        flips and retention decay first (an activation restores charge, so
+        accumulated damage resolves into concrete bitflips at that point),
+        then returns the bytes -- without issuing commands, advancing
+        stats, or feeding the TRR.  The corruption oracle checkpoints
+        through this hook so that flips damaged-but-not-yet-realized by a
+        PuD kernel are observed exactly as a victim's owner would observe
+        them.
+        """
+        self._restore_row(row, now_ns)
+        return self._row_data(row).copy()
+
     # ------------------------------------------------------------------
     # Charge restoration: flips materialize, damage clears
     # ------------------------------------------------------------------

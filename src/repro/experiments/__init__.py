@@ -24,6 +24,7 @@ from .comra import (
 )
 from .inventory import run_table1, run_table2
 from .prac_overhead import run_fig25
+from .pud_reliability import run_pud_reliability
 from .simra import (
     run_fig13,
     run_fig14,
@@ -59,6 +60,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig24": run_fig24,
     "fig25": run_fig25,
     "attack_surface": run_attack_surface,
+    "pud_reliability": run_pud_reliability,
 }
 
 
@@ -100,6 +102,7 @@ __all__ = [
     "run_fig23",
     "run_fig24",
     "run_fig25",
+    "run_pud_reliability",
     "run_table1",
     "run_table2",
 ]

@@ -71,6 +71,8 @@ class PudEngine:
         fails on the device) -- what the subarray reverse-engineering probe
         relies on.
         """
+        if src == dst:
+            raise AddressError(f"RowClone source and destination alias row {src}")
         if check_subarray and not self.module.geometry.same_subarray(src, dst):
             raise AddressError(
                 f"RowClone requires same-subarray rows; {src} and {dst} differ"
@@ -123,7 +125,25 @@ class PudEngine:
             raise AddressError(
                 f"no {n_rows}-row decoder group contains row {row}"
             )
+        self._check_group_subarray(group)
         return group
+
+    def _check_group_subarray(self, group: Sequence[int]) -> None:
+        """Reject row groups that straddle a subarray boundary.
+
+        Co-activation only shares charge among rows on the same local
+        bitlines; a group crossing into the next subarray would silently
+        compute on half the rows.  Default geometries keep 32-row decoder
+        blocks subarray-aligned, but scaled/overridden geometries need not.
+        """
+        geometry = self.module.geometry
+        subarrays = {geometry.subarray_of(row) for row in group}
+        if len(subarrays) > 1:
+            raise AddressError(
+                f"row group {tuple(group)} spans subarrays "
+                f"{tuple(sorted(subarrays))}; co-activation requires one "
+                "subarray"
+            )
 
     # ------------------------------------------------------------------
     # FracDRAM fractional values
@@ -152,9 +172,15 @@ class PudEngine:
             raise UnsupportedOperationError(
                 f"{self.module.vendor.value} chips do not expose SiMRA"
             )
+        if row_a == row_b:
+            raise AddressError(
+                f"simultaneous activation needs two distinct rows, got "
+                f"{row_a} twice"
+            )
         group = self.module.banks[self.bank].simra_group(row_a, row_b)
         if group is None:
             raise AddressError(f"rows {row_a}/{row_b} share no decoder group")
+        self._check_group_subarray(group)
         timing = self.module.timing
         program = (
             ProgramBuilder("simra-op")
@@ -183,6 +209,7 @@ class PudEngine:
                 f"{k} operands do not fit a {group_size}-row group with a "
                 "fractional pad"
             )
+        self._check_operands(operand_rows)
         group = self._scratch_group(group_size, avoid=operand_rows)
         # Load operands into the group via RowClone, pad with frac rows.
         for slot, operand in zip(group, operand_rows):
@@ -200,7 +227,30 @@ class PudEngine:
         """Bitwise OR via MAJ3(A, B, 1)."""
         return self._two_input(row_a, row_b, fill=0xFF)
 
+    def _check_operands(self, operand_rows: Sequence[int]) -> None:
+        """Reject aliased or cross-subarray operand sets up front.
+
+        The bulk ops destructively copy operands into a scratch group; a
+        duplicated operand would silently weight one row double, and a
+        cross-subarray operand would fail its RowClone *after* earlier
+        operands were already staged.  Both are caught before any command
+        is issued.
+        """
+        if len(set(operand_rows)) != len(operand_rows):
+            raise AddressError(
+                f"operand rows {tuple(operand_rows)} alias each other"
+            )
+        geometry = self.module.geometry
+        subarrays = {geometry.subarray_of(row) for row in operand_rows}
+        if len(subarrays) > 1:
+            raise AddressError(
+                f"operand rows {tuple(operand_rows)} span subarrays "
+                f"{tuple(sorted(subarrays))}; bulk ops stage operands via "
+                "same-subarray RowClone"
+            )
+
     def _two_input(self, row_a: int, row_b: int, fill: int) -> np.ndarray:
+        self._check_operands((row_a, row_b))
         group = self._scratch_group(4, avoid=(row_a, row_b))
         self.copy(row_a, group[0])
         self.copy(row_b, group[1])

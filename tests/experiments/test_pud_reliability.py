@@ -1,0 +1,88 @@
+"""pud_reliability experiment: registration, checks, campaign integration."""
+
+from repro.core.scale import ExperimentScale
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.pud_reliability import run_pud_reliability
+
+SMALL = ExperimentScale.small()
+
+
+def test_registered_in_registry():
+    assert EXPERIMENTS["pud_reliability"] is run_pud_reliability
+
+
+def test_hynix_small_reproduces_integrity_story():
+    result = run_experiment(
+        "pud_reliability", SMALL, config_ids=("hynix-a-8gb",)
+    )
+    checks = result.checks
+    # undefended PuD traffic silently corrupts data on the weakest rows
+    assert checks["hynix-a-8gb_baseline_silent_bits"] > 0
+    assert checks["hynix-a-8gb_worst_bystander_per_kop"] > 0
+    # the SiMRA-capable chip shows SiMRA-mechanism bystander corruption
+    assert checks["hynix-a-8gb_simra_bystander_bits"] > 0
+    # on-die SEC ECC zeroes the CoMRA-rate share (patrol scrub outpaces
+    # the ~1.9k-ACT minima) but the SiMRA-rate share defeats it: silent
+    # bits remain and multi-bit words miscorrect
+    assert checks["hynix-a-8gb_baseline_comra_silent_bits"] > 0
+    assert checks["hynix-a-8gb_ecc_comra_silent_bits"] == 0
+    assert checks["hynix-a-8gb_ecc_silent_bits"] > 0
+    assert checks["hynix-a-8gb_ecc_miscorrected_words"] > 0
+    assert checks["hynix-a-8gb_ecc_act_overhead_pct"] > 0
+    # verify-retry zeroes result corruption and reports its cost
+    assert checks["hynix-a-8gb_verify_result_bits"] == 0
+    assert checks["hynix-a-8gb_verify_detected_bits"] > 0
+    assert checks["hynix-a-8gb_verify_act_overhead_pct"] > 0
+    # guard rows zero bystander corruption at a capacity cost
+    assert checks["hynix-a-8gb_guard_bystander_bits"] == 0
+    assert 0 < checks["hynix-a-8gb_guard_capacity_pct"] < 100
+    # every row cell names the config and a known defense
+    assert result.rows
+    assert {row["config"] for row in result.rows} == {"hynix-a-8gb"}
+    assert {row["defense"] for row in result.rows} <= set(
+        SMALL.reliability_defenses
+    )
+
+
+def test_defense_and_workload_subsets():
+    result = run_pud_reliability(
+        scale=SMALL,
+        config_ids=("samsung-b-16gb",),
+        workloads=("copy-chain",),
+        defenses=("none", "ecc-sec", "verify-retry"),
+    )
+    assert {row["workload"] for row in result.rows} == {"copy-chain"}
+    assert {row["defense"] for row in result.rows} == {
+        "none", "ecc-sec", "verify-retry",
+    }
+    assert result.checks["samsung-b-16gb_baseline_silent_bits"] > 0
+    # without SiMRA in the picture, the ECC patrol scrub wins outright
+    assert result.checks["samsung-b-16gb_ecc_silent_bits"] == 0
+    assert result.checks["samsung-b-16gb_verify_result_bits"] == 0
+    # defenses outside the subset leave no checks behind
+    assert "samsung-b-16gb_guard_capacity_pct" not in result.checks
+    # no SiMRA capability -> no SiMRA check
+    assert "samsung-b-16gb_simra_bystander_bits" not in result.checks
+
+
+def test_campaign_shards_cache_and_resume(tmp_path):
+    from repro.campaign import ArtifactStore, CampaignRunner
+
+    def run():
+        runner = CampaignRunner(
+            store=ArtifactStore(tmp_path / "store"),
+            scale=ExperimentScale.smoke(),
+            granularity="session",
+            shard_filter=("hynix-a-8gb", "nanya-c-8gb"),
+        )
+        return runner.run(["pud_reliability"])
+
+    first = run()
+    assert first.executed == 2 and first.cached == 0 and not first.failures
+    merged = first.results["pud_reliability"]
+    assert "hynix-a-8gb_baseline_silent_bits" in merged.checks
+    assert "nanya-c-8gb_baseline_silent_bits" in merged.checks
+    # identical invocation is served entirely from the store
+    second = run()
+    assert second.executed == 0 and second.cached == 2
+    assert second.results["pud_reliability"].checks == merged.checks

@@ -78,7 +78,8 @@ class TestFig25Tiny:
 class TestRegistry:
     def test_all_experiments_registered(self):
         from repro.experiments import EXPERIMENTS
-        expected = {"table1", "table2", "attack_surface"} | {
+        expected = {"table1", "table2", "attack_surface",
+                    "pud_reliability"} | {
             f"fig{n:02d}" for n in (4, 5, 6, 7, 8, 9, 10, 11, 13, 14, 15,
                                     16, 17, 18, 19, 21, 22, 23, 24, 25)
         }

@@ -84,6 +84,49 @@ class TestMultiCopy:
             engine.multi_copy(32, 4)
 
 
+class TestAddressAudit:
+    """The engine's address audits reject malformed operations up front."""
+
+    def test_copy_aliased_rows_rejected(self, engine):
+        with pytest.raises(AddressError, match="alias"):
+            engine.copy(10, 10)
+
+    def test_simultaneous_activate_aliased_rows_rejected(self, engine):
+        with pytest.raises(AddressError, match="distinct"):
+            engine.simultaneous_activate(6, 6)
+
+    def test_group_spanning_subarrays_rejected(self):
+        # rows_per_subarray=13: rows 5 and 12 share subarray 0, but their
+        # decoder group {4, 5, 12, 13} reaches into subarray 1
+        from repro.dram.organization import ModuleGeometry
+
+        geometry = ModuleGeometry(
+            banks=2, subarrays_per_bank=4, rows_per_subarray=13, columns=64
+        )
+        engine = PudEngine(make_module("hynix-a-8gb", geometry=geometry))
+        with pytest.raises(AddressError, match="spans subarrays"):
+            engine.simultaneous_activate(5, 12)
+
+    def test_multi_copy_group_outside_subarray_rejected(self):
+        # group 32..47 straddles the 40-row subarray boundary
+        from repro.dram.organization import ModuleGeometry
+
+        geometry = ModuleGeometry(
+            banks=2, subarrays_per_bank=4, rows_per_subarray=40, columns=64
+        )
+        engine = PudEngine(make_module("hynix-a-8gb", geometry=geometry))
+        with pytest.raises(AddressError):
+            engine.multi_copy(36, 15)
+
+    def test_majority_aliased_operands_rejected(self, engine):
+        with pytest.raises(AddressError, match="alias"):
+            engine.majority([3, 3, 5])
+
+    def test_majority_cross_subarray_operands_rejected(self, engine):
+        with pytest.raises(AddressError, match="span subarrays"):
+            engine.majority([3, 5, 100])
+
+
 class TestFractional:
     def test_frac_row_marked(self, engine):
         engine.write_fractional(12)

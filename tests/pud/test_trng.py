@@ -31,6 +31,25 @@ class TestQuacTrng:
         trng = QuacTrng(hynix_module, block_base=64)
         assert trng.throughput_bits_per_op() == hynix_module.geometry.columns
 
+    def test_reduced_scale_stream_passes_monobit_and_runs(self, hynix_module):
+        trng = QuacTrng(hynix_module, block_base=64)
+        bits = np.unpackbits(np.frombuffer(trng.generate(512), np.uint8))
+        assert monobit_pvalue(bits) >= 0.01
+        assert runs_pvalue(bits) >= 0.01
+
+    def test_deterministic_under_fixed_seed(self):
+        streams = [
+            QuacTrng(make_module("hynix-a-8gb", serial=7), block_base=64)
+            .generate(256)
+            for _ in range(2)
+        ]
+        assert streams[0] == streams[1]
+
+    def test_distinct_seeds_give_distinct_streams(self):
+        a = QuacTrng(make_module("hynix-a-8gb", serial=1), block_base=64)
+        b = QuacTrng(make_module("hynix-a-8gb", serial=2), block_base=64)
+        assert a.generate(256) != b.generate(256)
+
 
 class TestRandomnessTests:
     def test_monobit_detects_bias(self):

@@ -1,0 +1,91 @@
+"""Integrity defenses: coverage guarantees and cost accounting."""
+
+import pytest
+
+from repro.bender.program import ProgramBuilder
+from repro.dram import make_module
+from repro.reliability import (
+    build_defense,
+    build_workloads,
+    execute_workload,
+    system_overhead_pct,
+)
+from repro.reliability.executor import _segment_program
+
+#: deep enough past the hynix-a CoMRA sentinel minimum (~1.9k) that the
+#: copy-chain's produced result is reliably corrupted undefended
+REPS = 12_000
+
+
+def _run(defense_name, workload_name="copy-chain", config="hynix-a-8gb"):
+    module = make_module(config)
+    defense = build_defense(defense_name)
+    workload = build_workloads(
+        module,
+        REPS,
+        trng_rounds=8,
+        guard_rows=defense.wants_guard_rows,
+        include=[workload_name],
+    )[0]
+    return execute_workload(module, workload, defense)
+
+
+class TestVerifyRetry:
+    def test_zeroes_result_corruption(self):
+        baseline = _run("none")
+        assert baseline.grand.result_bits > 0
+        defended = _run("verify-retry")
+        assert defended.grand.result_bits == 0
+        assert defended.defense_outcome.detected_bits > 0
+        assert defended.defense_outcome.repaired_rows > 0
+
+    def test_costs_extra_commands(self):
+        baseline = _run("none")
+        defended = _run("verify-retry")
+        assert defended.acts > baseline.acts
+
+
+class TestGuardRows:
+    def test_zeroes_bystander_corruption_at_capacity_cost(self):
+        baseline = _run("none", workload_name="simra-sweep")
+        assert baseline.grand.bystander_bits > 0
+        defended = _run("guard-rows", workload_name="simra-sweep")
+        assert defended.grand.bystander_bits == 0
+        out = defended.defense_outcome
+        assert out.reserved_rows > 0
+        assert 0 < out.capacity_overhead_pct < 100
+
+
+class TestSegmentProgram:
+    def _loop_program(self, count):
+        body = ProgramBuilder().act(0, 0, 50.0).pre(0, 35.0)
+        return ProgramBuilder("loop").loop(count, body).build()
+
+    def test_splits_preserving_total_iterations(self):
+        segments = _segment_program(self._loop_program(10_000), every=1_500)
+        assert len(segments) == 7
+        assert sum(s.instructions[0].count for s in segments) == 10_000
+        assert len({s.name for s in segments}) == len(segments)
+
+    def test_small_loop_and_disabled_cadence_run_whole(self):
+        program = self._loop_program(1_000)
+        assert _segment_program(program, every=1_500) == [program]
+        assert _segment_program(program, every=0) == [program]
+
+    def test_non_loop_program_runs_whole(self):
+        program = ProgramBuilder("straight").act(0, 0, 50.0).pre(0, 35.0).build()
+        assert _segment_program(program, every=10) == [program]
+
+
+def test_build_defense_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown defense"):
+        build_defense("magic-shield")
+
+
+def test_system_overhead_free_below_unit_multiplier():
+    assert system_overhead_pct(1.0) == 0.0
+    assert system_overhead_pct(0.5) == 0.0
+
+
+def test_system_overhead_grows_with_traffic():
+    assert system_overhead_pct(2.0, horizon_ns=30_000.0) >= 0.0

@@ -1,0 +1,58 @@
+"""Reliability workload library: gating, placement, guard policy."""
+
+import pytest
+
+from repro.bender.program import Loop
+from repro.reliability import SIMRA_WORKLOADS, WORKLOAD_NAMES, build_workloads
+
+
+def test_full_library_on_simra_chip(hynix_module):
+    workloads = build_workloads(hynix_module, reps=100, trng_rounds=4)
+    assert [w.name for w in workloads] == list(WORKLOAD_NAMES)
+
+
+def test_simra_workloads_gated_off_non_simra_chip(samsung_module):
+    names = {w.name for w in build_workloads(samsung_module, reps=100)}
+    assert names == set(WORKLOAD_NAMES) - SIMRA_WORKLOADS
+
+
+def test_include_filter(hynix_module):
+    workloads = build_workloads(
+        hynix_module, reps=100, include=["copy-chain", "quac-stream"]
+    )
+    assert [w.name for w in workloads] == ["copy-chain", "quac-stream"]
+
+
+def test_unknown_workload_name_rejected(hynix_module):
+    with pytest.raises(ValueError, match="unknown workloads"):
+        build_workloads(hynix_module, reps=100, include=["memcpy-typo"])
+
+
+def test_guard_policy_reserves_bystanders(hynix_module):
+    normal = build_workloads(hynix_module, reps=100, include=["copy-chain"])[0]
+    guarded = build_workloads(
+        hynix_module, reps=100, guard_rows=True, include=["copy-chain"]
+    )[0]
+    assert not normal.reserved_rows
+    assert guarded.reserved_rows
+    # reserved rows hold no payload, and they are exactly the bystanders
+    # that the unguarded build fills with data
+    assert not set(guarded.reserved_rows) & set(guarded.data_rows)
+    assert set(guarded.reserved_rows) <= set(normal.data_rows)
+
+
+def test_predictions_finite_and_positive(hynix_module):
+    for workload in build_workloads(hynix_module, reps=100, trng_rounds=4):
+        assert workload.predicted_weakest_hc > 0
+
+
+def test_sustained_kernels_are_pure_loops(hynix_module):
+    """Every sustained program is segmentable for patrol-scrub defenses."""
+    for workload in build_workloads(hynix_module, reps=500, trng_rounds=4):
+        for kernel in workload.kernels:
+            if kernel.ops < 500:
+                continue
+            for program in kernel.programs:
+                assert all(
+                    isinstance(instr, Loop) for instr in program.instructions
+                )

@@ -2,6 +2,7 @@
 
 import io
 import contextlib
+import json
 
 import pytest
 
@@ -12,6 +13,18 @@ def test_list_prints_registry(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "fig04" in out and "fig25" in out and "table2" in out
+    assert "pud_reliability" in out
+
+
+def test_list_json_emits_ids_and_descriptions(capsys):
+    from repro.experiments import EXPERIMENTS
+
+    assert main(["list", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert [e["id"] for e in entries] == sorted(EXPERIMENTS)
+    assert all(e["description"] for e in entries)
+    by_id = {e["id"]: e["description"] for e in entries}
+    assert "corruption" in by_id["pud_reliability"].lower()
 
 
 def test_run_table1(capsys):
@@ -85,3 +98,38 @@ def test_attack_rejects_unknown_names():
         main(["attack", "--configs", "intel-z-99gb"])
     with pytest.raises(SystemExit):
         main(["attack", "--mitigations", "magic-shield"])
+
+
+def test_reliability_direct_subset_prints_matrix(capsys):
+    assert main([
+        "reliability", "--scale", "smoke",
+        "--configs", "hynix-a-8gb",
+        "--workloads", "copy-chain",
+        "--defenses", "none", "verify-retry",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pud_reliability" in out
+    assert "copy-chain" in out and "verify-retry" in out
+    assert "hynix-a-8gb_baseline_silent_bits" in out
+    assert "hynix-a-8gb_verify_result_bits" in out
+
+
+def test_reliability_campaign_stores_and_resumes(tmp_path, capsys):
+    store_args = ["--scale", "smoke", "--output", str(tmp_path / "store")]
+    args = ["reliability", "--configs", "nanya-c-8gb", *store_args]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "1 executed, 0 cached" in out
+    assert (tmp_path / "store" / "artifacts").is_dir()
+    # identical invocation is served entirely from the store
+    assert main(args) == 0
+    assert "0 executed, 1 cached" in capsys.readouterr().out
+
+
+def test_reliability_rejects_unknown_names():
+    with pytest.raises(SystemExit):
+        main(["reliability", "--configs", "intel-z-99gb"])
+    with pytest.raises(SystemExit):
+        main(["reliability", "--defenses", "magic-shield"])
+    with pytest.raises(SystemExit):
+        main(["reliability", "--workloads", "memcpy-typo"])
