@@ -156,6 +156,7 @@ class CampaignRunner:
                 pending.append(task)
 
         if pending:
+            pending = self._order_longest_first(pending)
             if self.jobs == 1:
                 self._run_serial(pending, outcomes, log)
             else:
@@ -169,6 +170,52 @@ class CampaignRunner:
                                        "failed": summary.failed}))
         self._write_manifest(summary, ids)
         return summary
+
+    # -- scheduling ----------------------------------------------------
+    def _prior_elapsed(self) -> dict[tuple, float]:
+        """Per-task wall time from earlier runs' manifests, newest wins.
+
+        Unreadable or half-written manifests are skipped -- scheduling is a
+        hint, never a correctness dependency.
+        """
+        manifests = []
+        runs_dir = self.store.runs_dir
+        if not runs_dir.exists():
+            return {}
+        for path in runs_dir.glob("*/manifest.json"):
+            try:
+                manifests.append(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                continue
+        manifests.sort(key=lambda m: float(m.get("created_at") or 0.0))
+        elapsed: dict[tuple, float] = {}
+        for manifest in manifests:
+            for entry in manifest.get("tasks", []):
+                if entry.get("status") == "failed":
+                    continue
+                shard = entry.get("shard")
+                if isinstance(shard, list):
+                    shard = tuple(shard)
+                value = float(entry.get("elapsed") or 0.0)
+                if value > 0.0:
+                    elapsed[(entry.get("experiment_id"), shard)] = value
+        return elapsed
+
+    def _order_longest_first(self, pending: list[Task]) -> list[Task]:
+        """Submit the historically slowest tasks first.
+
+        With a pool, launching the long poles early minimizes the makespan
+        tail (a table2 shard finishing last on an otherwise idle pool);
+        tasks with no recorded history keep their declared order after the
+        known ones -- the sort is stable and unknown tasks share key 0.
+        """
+        prior = self._prior_elapsed()
+        if not prior:
+            return pending
+        return sorted(
+            pending,
+            key=lambda t: -prior.get((t.experiment_id, t.shard), 0.0),
+        )
 
     # -- cache ---------------------------------------------------------
     def _from_cache(self, task: Task, log: EventLog) -> Optional[TaskOutcome]:

@@ -1,0 +1,1532 @@
+"""Batched multi-victim HC_first probe engine.
+
+The scalar search path (:mod:`repro.core.hcfirst`) runs one victim at a
+time: every binary-search probe builds a fresh host, rewrites every row,
+replays the hammer program and reads the victim back.  Real DRAM-Bender
+campaigns amortize test time by interleaving probes across subarrays; this
+module does the same for the simulated bench while staying bit-identical
+to the scalar path.
+
+Three pieces:
+
+* **Planner** -- each victim's search unit claims a *blast set*: every row
+  its probes activate, read or write (plus any row-decoder group those
+  activations could co-select), widened by :data:`GUARD_DISTANCE` (the
+  model deposits damage up to distance 2).  Units whose blast sets
+  intersect share observable state (deposits, data, synergy ordinals) and
+  are chained into one *component* that executes strictly in declared
+  order -- exactly the scalar order.  Disjoint components interleave
+  freely: nothing either can do is visible to the other before its next
+  re-initialization, so any interleaving replays the same per-row event
+  sequences.  :func:`plan_batches` exposes the resulting rounds (one unit
+  per component per round); adjacent victims always land in different
+  batches.
+
+* **Search engine** -- a faithful transcription of
+  :func:`~repro.core.hcfirst.find_hc_first_repeated` whose per-victim
+  bracket state lives in numpy arrays (``lo``/``hi``/``phase``/``found``)
+  updated vectorized after each fused replay round.  Probe memoization and
+  bracket warm-starting across repeats are preserved, so probe outcomes
+  and histories match the scalar search probe for probe.
+
+* **Fused replay** -- one probe re-initializes only the rows its unit
+  touches through the bank's copy-on-write
+  :meth:`~repro.dram.bank.Bank.restore_rows`, then replays the hammer
+  loops as pre-compiled command streams (warm pass + one pass scaled by
+  ``count - 1``, the same two-pass trick as the host's scaled path) and
+  reads the victim back at nominal timing.  All model-visible quantities
+  are *gaps* between same-probe timestamps, every slack is a multiple of
+  the 1.5 ns bus cycle (exact in float64), and the probe-boundary tAggOff
+  sign matches the scalar host's clock rewind via the restore sentinel --
+  hence bit identity.
+
+The planner proves equivalence per unit and degrades conservatively when
+it cannot:
+
+* **Scalar fallback** (the unit runs :func:`find_hc_first_repeated` in its
+  component slot, preserving order): an attached TRR hook, programs that
+  are not pure loop nests over one count, bodies that do not compile to a
+  single-bank ACT/PRE stream, multi-victim setups, a stream session whose
+  open time lands in the FracDRAM sensing window, or a first activation
+  close enough to the re-initialization writes that the scalar host could
+  classify the write session as a CoMRA/multi-copy source.
+* **Tie chaining**: FracDRAM sensing and SiMRA charge-sharing ties consume
+  a per-bank counter that seeds an RNG whose bits land in row data, so
+  every unit that can consume it (any unit whose stream timing can open a
+  multi-row activation, plus every scalar-fallback unit) is chained into
+  one component and executes in declared order.
+* **Clock-sensitive components**: a unit whose activations (or the decoder
+  groups they can co-select) reach rows outside its own per-probe
+  re-initialization set observes retention decay across the engine's
+  continuous clock, which the scalar host's per-probe clock rewind never
+  sees; its whole component runs scalar.
+* **Whole-call fallback**: a program containing ``Ref`` advances the
+  bank-global refresh rotor over arbitrary rows (clock-dependent decay),
+  and an unbuildable factory has an unknown footprint -- either turns the
+  entire call into the plain scalar loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bender.compiler import CompiledStream, compile_stream
+from ..bender.program import Act, Loop, Rd, Ref, Wr
+from ..disturbance.calibration import FlipDirection
+from ..disturbance.model import classify_pattern
+from ..dram.bank import STREAM_ACT, STREAM_PRE, Bank
+from ..dram.commands import ActivationEvent
+from .hcfirst import (
+    CONVERGENCE,
+    DEFAULT_MAX_HAMMERS,
+    HcFirstResult,
+    ProbeResult,
+    ProbeSetup,
+    find_hc_first_repeated,
+)
+
+#: blast radius around every activated/written row: the disturbance model
+#: deposits damage up to distance 2 from an aggressor
+GUARD_DISTANCE = 2
+
+#: calibration counts used to separate fixed loop counts from the ones
+#: driven by the probe count
+_CAL_COUNTS = (2, 3)
+
+#: upper edge of the multi-row activation trigger windows (SiMRA open and
+#: multi-copy joins both require a PRE->ACT gap of at most 6 ns)
+_MULTI_ACT_GAP_NS = 6.0
+
+
+def count_flips(data: np.ndarray, expected: np.ndarray) -> int:
+    """Bit difference count; identical to the scalar unpackbits compare."""
+    if np.array_equal(data, expected):
+        return 0
+    diff = np.bitwise_xor(
+        np.asarray(data, dtype=np.uint8), np.asarray(expected, dtype=np.uint8)
+    )
+    return int(np.unpackbits(diff).sum())
+
+
+def blast_rows(rows: Sequence[int], guard: int = GUARD_DISTANCE) -> frozenset[int]:
+    """Every row a probe over ``rows`` can observably touch."""
+    out: set[int] = set()
+    for row in rows:
+        out.update(range(row - guard, row + guard + 1))
+    return frozenset(out)
+
+
+def plan_components(
+    blasts: Sequence[frozenset[int]],
+    chained: Sequence[int] = (),
+) -> list[list[int]]:
+    """Group unit indices whose blast sets transitively intersect.
+
+    ``chained`` unit indices are additionally unioned with each other (the
+    tie-counter chain).  Each component lists its units in declared order
+    (the scalar execution order); distinct components share no observable
+    state.
+    """
+    n = len(blasts)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[max(ri, rj)] = min(ri, rj)
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if blasts[i] & blasts[j]:
+                union(i, j)
+    chained = list(chained)
+    for i, j in zip(chained, chained[1:]):
+        union(i, j)
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    return [groups[root] for root in sorted(groups)]
+
+
+def plan_batches(
+    blasts: Sequence[frozenset[int]],
+    chained: Sequence[int] = (),
+) -> list[list[int]]:
+    """Concurrent rounds: the k-th unit of every component forms batch k.
+
+    Units inside one component never share a batch (they must run
+    sequentially), so adjacent victims -- whose blast sets necessarily
+    intersect -- always land in different batches.
+    """
+    components = plan_components(blasts, chained)
+    depth = max((len(c) for c in components), default=0)
+    return [
+        [component[k] for component in components if len(component) > k]
+        for k in range(depth)
+    ]
+
+
+@dataclass
+class _BatchedUnit:
+    """One victim's search, lowered for fused replay."""
+
+    victim: int
+    expected: np.ndarray
+    snapshot: object  # RowSnapshot
+    #: (stream, fixed_count) per loop; fixed_count None = probe count
+    loops: list[tuple[CompiledStream, Optional[int]]]
+    #: captured replay traces keyed by loop-shape signature
+    traces: dict = field(default_factory=dict)
+    #: the unit's probes resolve to plain deposit plans (no multi-row
+    #: sessions), so later probes may re-apply a captured trace
+    fast_allowed: bool = True
+
+
+@dataclass(slots=True)
+class _TraceEvent:
+    """One captured activation event with its resolved deposit plan.
+
+    The event *shape* (gaps, rows, damage-scaling ``times``) is constant
+    across a unit's probes -- every model-visible quantity is a gap
+    between same-probe timestamps, and cross-probe gaps clamp into the
+    model's flat tAggOff band -- so the plan resolved once can be
+    re-applied directly.  The one live input is the aggressor row's data
+    pattern: realized flips reclassify it, so each application guards on
+    the bank's version-cached ``pattern_of`` and re-resolves on change
+    (exactly the lookup the scalar emission path would perform).
+    """
+
+    event: object  # ActivationEvent
+    row0: int
+    pattern: object  # Optional[DataPattern]
+    plan: list
+    #: damage multiplier follows the probe count (a varying loop's scaled
+    #: pass applies its recorded iteration ``count - 1`` times)
+    scaled: bool
+    #: literal multiplier otherwise (1 for warm passes and write sessions)
+    times: float
+    #: ``_data_version`` of ``row0`` the plan was resolved against; the
+    #: version is a faithful change counter for row data, so a matching
+    #: version skips the ``pattern_of`` lookup entirely (None forces the
+    #: full pattern check on first application)
+    version: Optional[int] = None
+    #: the model plan-cache key the plan was resolved under; translation
+    #: derives the shifted unit's key from it by a pure row shift instead
+    #: of re-deriving the rounded/sorted time key from the event
+    plan_key: Optional[tuple] = None
+
+
+@dataclass
+class _Trace:
+    """One captured fused-replay probe, compiled for direct re-application.
+
+    Ops are ``("touch", row, rel_ns, state, retention_ns)`` charge
+    restorations (applied at bucket base + offset, with the model row
+    state and retention threshold pre-resolved), ``("copy", src, dst)``
+    CoMRA copies, and ``("event", _TraceEvent)`` deposit-plan
+    applications, in the exact order the slow replay performed them.
+    ``stats_const`` and ``stats_linear`` reproduce the bank counter
+    arithmetic: per probe the counters move by
+    ``const + linear * (count - 1)``.
+    """
+
+    temperature_c: float
+    #: one ``(steady, cold)`` write-session entry pair per snapshot row,
+    #: in restore order: ``steady`` carries the -1.0 "closed before this
+    #: probe" tAggOff sentinel the bank stamps once a row has a recorded
+    #: close, ``cold`` the empty tAggOff of a never-closed row (a
+    #: translated trace's first probe) -- chosen per row at replay time
+    #: exactly as the restore pass does
+    prologue: list
+    #: (warm_ops, scaled_ops) per loop segment
+    segments: list
+    #: ops after the last loop segment (final flush + victim read)
+    epilogue: list
+    stats_const: dict
+    stats_linear: dict
+    #: the victim's snapshot image equals its expected pattern, so a probe
+    #: whose epilogue leaves the victim's data version untouched read back
+    #: exactly what was written -- zero flips without comparing bytes
+    flips_by_version: bool = False
+    #: per snapshot row, ``(row, state, preset_entries)``: the model row
+    #: state pre-resolved for the inline restore, and the trace's event
+    #: entries for that row whose captured pattern matches the snapshot
+    #: image -- restoring the image re-validates them by construction, so
+    #: the prologue refreshes their version guard in place instead of
+    #: letting each take a guard miss (and a pattern lookup) per probe
+    prologue_meta: list = field(default_factory=list)
+
+
+def _prologue_meta(bank, unit: "_BatchedUnit", segments, epilogue) -> list:
+    """Build :attr:`_Trace.prologue_meta` for a compiled/translated trace.
+
+    An event entry is preset-eligible when its aggressor row is never the
+    target of a trace ``copy`` op (so mid-probe data always equals the
+    restored image when the event fires) and its captured pattern equals
+    the image's classification.
+    """
+    model = bank.model
+    bi = bank.index
+    copy_targets: set[int] = set()
+    entries_by_row: dict[int, list] = {}
+
+    def scan(ops: list) -> None:
+        for op in ops:
+            tag = op[0]
+            if tag == "event":
+                entries_by_row.setdefault(op[1].row0, []).append(op[1])
+            elif tag == "copy":
+                copy_targets.add(op[2])
+
+    for warm_ops, scaled_ops in segments:
+        scan(warm_ops)
+        scan(scaled_ops)
+    scan(epilogue)
+    images = unit.snapshot.images
+    meta = []
+    for row in unit.snapshot.rows:
+        preset: tuple = ()
+        if row not in copy_targets:
+            candidates = entries_by_row.get(row)
+            if candidates:
+                image_pattern = classify_pattern(images[row])
+                preset = tuple(
+                    entry for entry in candidates
+                    if entry.pattern == image_pattern
+                )
+        meta.append((row, model._state(bi, row), preset))
+    return meta
+
+
+def _resolve_plan(
+    model, event, temperature_c: float, pattern, key: Optional[tuple] = None
+) -> tuple[Optional[list], Optional[tuple]]:
+    """Resolve an event's deposit plan exactly as the model's apply path.
+
+    Mirrors ``DisturbanceModel._apply_single`` / ``_apply_comra`` key
+    construction and cache discipline (so a plan built here is shared with
+    the scalar path and vice versa); a caller that already knows the cache
+    key (a translated trace) passes it to skip the time-key derivation.
+    Returns ``(plan, key)`` -- ``(None, None)`` for SiMRA events, which
+    carry charge-sharing side effects a plan cannot express.
+    """
+    kind = ActivationEvent.Kind
+    if event.kind is kind.SINGLE:
+        if key is None:
+            key = (
+                "single", event.bank, event.rows[0], temperature_c, pattern,
+                model._event_time_key(event, with_pre_to_act=False),
+            )
+        plan = model._plan_lookup(key)
+        if plan is None:
+            plan = model._build_single_plan(event, temperature_c, pattern)
+            model._plan_store(key, plan)
+        return plan, key
+    if event.kind is kind.COMRA_PAIR:
+        if key is None:
+            key = (
+                "comra", event.bank, event.rows, temperature_c, pattern,
+                model._event_time_key(event),
+            )
+        plan = model._plan_lookup(key)
+        if plan is None:
+            plan = model._build_comra_plan(event, temperature_c, pattern)
+            model._plan_store(key, plan)
+        return plan, key
+    return None, None
+
+
+def _shift_plan_key(key: tuple, delta: int) -> tuple:
+    """Row-shift a resolved plan key (time-key sort order is shift-invariant)."""
+    tk = key[5]
+    shifted_tk = (tk[0], tk[1], tk[2], tuple((r + delta, g) for r, g in tk[3]))
+    target = key[2] + delta if key[0] == "single" else tuple(
+        r + delta for r in key[2]
+    )
+    return (key[0], key[1], target, key[3], key[4], shifted_tk)
+
+
+def _shape_signature(
+    loops: Sequence[tuple[CompiledStream, Optional[int]]], count: int
+) -> tuple[int, ...]:
+    """Which passes a probe at ``count`` executes, per loop segment.
+
+    0 = segment skipped, 1 = warm pass only, 2 = warm + scaled pass (the
+    stats top-up beyond that is arithmetic, not shape).
+    """
+    sig = []
+    for _stream, fixed in loops:
+        n = count if fixed is None else fixed
+        sig.append(0 if n <= 0 else 1 if n == 1 else 2)
+    return tuple(sig)
+
+
+@dataclass
+class _UnitPlan:
+    """Planner verdict for one probe setup."""
+
+    #: lowered fused-replay unit, or None when the unit must run scalar
+    batched: Optional[_BatchedUnit]
+    #: rows the unit's probes can observably touch, pre-guard widening
+    footprint: frozenset[int]
+    #: the unit can consume the bank's tie counter (chained globally)
+    tie_hazard: bool
+    #: the unit touches rows it does not re-initialize every probe, so its
+    #: retention decay depends on the absolute clock, not same-probe gaps
+    clock_sensitive: bool
+    #: the unit touches bank-global clock-coupled state (refresh rotor) or
+    #: has an unknown footprint; poisons the whole call
+    global_hazard: bool = False
+
+
+def _frac_hazard(stream: CompiledStream) -> bool:
+    """True when any session's open time can mark a row fractional."""
+    lo, hi = Bank.FRAC_WINDOW_NS
+    open_offset = None
+    for op, offset in zip(stream.op_list, stream.offset_list):
+        if op == STREAM_ACT:
+            open_offset = offset
+        elif open_offset is not None:  # STREAM_PRE closing a session
+            if lo <= offset - open_offset <= hi:
+                return True
+            open_offset = None
+    return False
+
+
+def _walk_rows(instructions, module) -> Optional[tuple[set[int], set[int]]]:
+    """(activated, touched) physical rows of a program, or None on ``Ref``."""
+    acted: set[int] = set()
+    touched: set[int] = set()
+    stack = list(instructions)
+    while stack:
+        inst = stack.pop()
+        if isinstance(inst, Loop):
+            stack.extend(inst.body)
+        elif isinstance(inst, Ref):
+            return None
+        elif isinstance(inst, Act):
+            acted.add(module.to_physical(inst.row))
+        elif isinstance(inst, (Rd, Wr)):
+            touched.add(module.to_physical(inst.row))
+    return acted, touched | acted
+
+
+def _joint_gaps(loops: Sequence[tuple[CompiledStream, Optional[int]]]) -> list[float]:
+    """Every PRE->ACT gap the replayed streams can realize.
+
+    Covers within-stream joints, the wrap-around joint between loop
+    iterations, and the joint between consecutive loop segments.
+    """
+    gaps: list[float] = []
+    prev_tail: Optional[float] = None
+    for stream, _fixed in loops:
+        first_act: Optional[float] = None
+        last_pre: Optional[float] = None
+        open_pre: Optional[float] = None
+        for op, offset in zip(stream.op_list, stream.offset_list):
+            if op == STREAM_ACT:
+                if first_act is None:
+                    first_act = offset
+                if open_pre is not None:
+                    gaps.append(offset - open_pre)
+                    open_pre = None
+            elif op == STREAM_PRE:
+                last_pre = offset
+                open_pre = offset
+        assert first_act is not None and last_pre is not None
+        tail = stream.duration_ns - last_pre
+        gaps.append(tail + first_act)  # loop wrap-around
+        if prev_tail is not None:
+            gaps.append(prev_tail + first_act)  # previous segment's joint
+        prev_tail = tail
+    return gaps
+
+
+def _lower_loops(
+    setup: ProbeSetup,
+) -> Optional[list[tuple[CompiledStream, Optional[int]]]]:
+    """Lower the setup's program into compiled loop segments, or None."""
+    module = setup.module
+    try:
+        instrs_lo = setup.program_factory(_CAL_COUNTS[0]).instructions
+        instrs_hi = setup.program_factory(_CAL_COUNTS[1]).instructions
+    except Exception:
+        return None
+    if not instrs_lo or len(instrs_lo) != len(instrs_hi):
+        return None
+    loops: list[tuple[CompiledStream, Optional[int]]] = []
+    saw_varying = False
+    for inst_lo, inst_hi in zip(instrs_lo, instrs_hi):
+        if not isinstance(inst_lo, Loop) or not isinstance(inst_hi, Loop):
+            return None
+        if inst_lo.body != inst_hi.body:
+            return None
+        if inst_lo.count == inst_hi.count:
+            fixed: Optional[int] = inst_lo.count
+        elif (inst_lo.count, inst_hi.count) == _CAL_COUNTS:
+            fixed = None
+            saw_varying = True
+        else:
+            return None
+        stream = compile_stream(inst_lo.body, module)
+        if stream is None or stream.bank != setup.bank:
+            return None
+        if _frac_hazard(stream):
+            return None
+        loops.append((stream, fixed))
+    if not saw_varying:
+        return None
+    return loops
+
+
+def _restore_joint_hazard(
+    setup: ProbeSetup, loops: Sequence[tuple[CompiledStream, Optional[int]]]
+) -> bool:
+    """True when the program's first ACT could join the restore writes.
+
+    The scalar host still holds the final initialization write's session
+    pending when the program starts; a first activation within the CoMRA
+    window (or the multi-copy join window) would claim it as a copy
+    source.  The fused replay emits that write eagerly, so such units must
+    run scalar.  Every standard pattern leads with a full-tRP slack and
+    stays eligible.
+    """
+    module = setup.module
+    bank = module.bank(setup.bank)
+    for stream, fixed in loops:
+        if fixed == 0:
+            continue  # never executed first; counts are otherwise >= 1
+        gap = stream.offset_list[0]
+        return 0.0 < gap < module.timing.tRP and (
+            bank.supports_comra
+            or (module.model.supports_simra and gap <= _MULTI_ACT_GAP_NS)
+        )
+    return False
+
+
+def plan_unit(setup: ProbeSetup) -> _UnitPlan:
+    """Classify one probe setup for the batched engine."""
+    module = setup.module
+    bank = module.bank(setup.bank)
+    row_keys = set(setup.row_data)
+
+    walked = None
+    try:
+        walked = _walk_rows(setup.program_factory(_CAL_COUNTS[0]).instructions, module)
+    except Exception:
+        pass
+    if walked is None:
+        # REF rotor / unknown program: footprint unknowable, whole call
+        # must run the scalar loop
+        return _UnitPlan(
+            batched=None,
+            footprint=frozenset(row_keys),
+            tie_hazard=True,
+            clock_sensitive=True,
+            global_hazard=True,
+        )
+    acted, touched = walked
+
+    batched: Optional[_BatchedUnit] = None
+    loops = None
+    if len(setup.victims) == 1 and bank.trr is None:
+        loops = _lower_loops(setup)
+        if loops is not None and _restore_joint_hazard(setup, loops):
+            loops = None
+
+    # Can any activation in this unit open a multi-row (SiMRA / multi-copy)
+    # session?  Only then can decoder groups pull in extra rows or
+    # charge-sharing ties consume the bank's tie counter.
+    if not module.model.supports_simra:
+        may_group = False
+    elif loops is not None:
+        may_group = any(0.0 < gap <= _MULTI_ACT_GAP_NS for gap in _joint_gaps(loops))
+    else:
+        may_group = True  # scalar fallback: timing unknown, assume the worst
+
+    group_rows: set[int] = set()
+    if may_group:
+        acted_list = sorted(acted)
+        for i, row_a in enumerate(acted_list):
+            for row_b in acted_list[i + 1 :]:
+                group = bank.simra_group(row_a, row_b)
+                if group:
+                    group_rows.update(group)
+
+    footprint = row_keys | touched | group_rows
+    clock_sensitive = not (acted | group_rows) <= row_keys
+
+    if loops is not None and not clock_sensitive:
+        victim = setup.victims[0]
+        try:
+            expected = np.resize(
+                np.asarray(setup.victim_expected(victim), dtype=np.uint8),
+                module.geometry.row_bytes,
+            )
+        except KeyError:
+            expected = None
+        if expected is not None:
+            batched = _BatchedUnit(
+                victim=victim,
+                expected=expected,
+                snapshot=bank.snapshot_rows(setup.row_data),
+                loops=loops,
+            )
+
+    # frac sensing is guarded out of batched streams, so a batched unit
+    # can only tie via charge sharing; a scalar fallback could do either
+    tie_hazard = may_group or batched is None
+    return _UnitPlan(
+        batched=batched,
+        footprint=frozenset(footprint),
+        tie_hazard=tie_hazard,
+        clock_sensitive=clock_sensitive,
+    )
+
+
+#: search phases held in the vectorized state
+_PHASE_DOUBLING = 0
+_PHASE_BISECT = 1
+
+
+@dataclass
+class _UnitBookkeeping:
+    """Python-side per-unit search bookkeeping (caches, repeats, history)."""
+
+    cache: dict[int, ProbeResult] = field(default_factory=dict)
+    history: list[ProbeResult] = field(default_factory=list)
+    cache_hits: int = 0
+    repeat: int = 0
+    bracket: Optional[tuple[int, int]] = None
+    best: Optional[HcFirstResult] = None
+    done: bool = False
+
+
+class BatchedSearchEngine:
+    """Advance many HC_first searches with shared fused replays."""
+
+    def __init__(
+        self,
+        setups: Sequence[ProbeSetup],
+        repeats: int = 5,
+        max_hammers: int = DEFAULT_MAX_HAMMERS,
+        convergence: float = CONVERGENCE,
+        initial_guess: int = 1024,
+    ) -> None:
+        if not setups:
+            raise ValueError("no probe setups")
+        module = setups[0].module
+        bank_index = setups[0].bank
+        for setup in setups:
+            if setup.module is not module or setup.bank != bank_index:
+                raise ValueError(
+                    "batched searches must share one module and bank"
+                )
+        self.setups = list(setups)
+        self.module = module
+        self.bank = module.bank(bank_index)
+        self.repeats = max(1, repeats)
+        self.max_hammers = max_hammers
+        self.convergence = convergence
+        self.initial_guess = initial_guess
+
+        n = len(self.setups)
+        self.plans = [plan_unit(setup) for setup in self.setups]
+        self.global_fallback = any(plan.global_hazard for plan in self.plans)
+        self.blasts = [blast_rows(plan.footprint) for plan in self.plans]
+        chained = [i for i, plan in enumerate(self.plans) if plan.tie_hazard]
+        self.components = plan_components(self.blasts, chained)
+        self.units: list[Optional[_BatchedUnit]] = [
+            plan.batched for plan in self.plans
+        ]
+        # a clock-sensitive unit's retention depends on the absolute clock;
+        # run its whole (state-isolated) component scalar so the component
+        # reproduces the scalar subsequence exactly
+        for component in self.components:
+            if any(self.plans[i].clock_sensitive for i in component):
+                for i in component:
+                    self.units[i] = None
+        self.results: list[Optional[HcFirstResult]] = [None] * n
+        self.books = [_UnitBookkeeping() for _ in range(n)]
+        # shape classes: a unit whose streams, snapshot and row images are
+        # a pure row-translation of an earlier unit's can reuse that
+        # unit's compiled trace (translated) instead of paying its own
+        # capture probe
+        self._donor: list[Optional[tuple[int, int]]] = [None] * n
+        reps: list[int] = []
+        for i in range(n):
+            if self.units[i] is None:
+                continue
+            for r in reps:
+                delta = self._translation_of(r, i)
+                if delta is not None:
+                    self._donor[i] = (r, delta)
+                    break
+            else:
+                reps.append(i)
+
+        # vectorized bracket state
+        self.lo = np.zeros(n, dtype=np.int64)
+        self.hi = np.zeros(n, dtype=np.int64)
+        self.phase = np.zeros(n, dtype=np.int8)
+        self.found = np.zeros(n, dtype=bool)
+
+        self.clock = 0.0
+
+        for i in range(n):
+            self._start_repeat(i)
+
+    # -- per-repeat state ------------------------------------------------
+    def _start_repeat(self, i: int) -> None:
+        book = self.books[i]
+        book.history = []
+        book.cache_hits = 0
+        if book.bracket is not None:
+            hi = max(2, int(book.bracket[1]))
+            lo = min(max(0, int(book.bracket[0])), hi - 1)
+        else:
+            lo = 0
+            hi = max(2, self.initial_guess)
+        self.lo[i] = lo
+        self.hi[i] = hi
+        self.phase[i] = _PHASE_DOUBLING
+
+    def _finish_repeat(self, i: int, found: bool) -> None:
+        book = self.books[i]
+        history = book.history
+        if found:
+            result = HcFirstResult(
+                float(self.hi[i]), True, len(history), history, book.cache_hits
+            )
+        else:
+            result = HcFirstResult(
+                None, False, len(history), history, book.cache_hits
+            )
+        if result.found:
+            flip_free = [
+                probe.count
+                for probe in history
+                if probe.flips == 0 and probe.count < result.hc_first
+            ]
+            if book.bracket is not None:
+                flip_free.append(book.bracket[0])
+            book.bracket = (max(flip_free, default=0), int(result.hc_first))
+        if book.best is None:
+            book.best = result
+        elif result.found and (
+            not book.best.found
+            or (result.hc_first or 0) < (book.best.hc_first or 0)
+        ):
+            book.best = result
+        book.repeat += 1
+        if book.repeat >= self.repeats:
+            book.done = True
+            assert book.best is not None
+            self.results[i] = book.best
+            self.found[i] = book.best.found
+        else:
+            self._start_repeat(i)
+
+    # -- search state machine (faithful to find_hc_first) ----------------
+    def _advance(self, i: int) -> Optional[int]:
+        """Advance unit ``i`` through cached probes and phase transitions.
+
+        Returns the next *uncached* probe count, or None once the unit has
+        finished every repeat.
+        """
+        book = self.books[i]
+        while not book.done:
+            if self.phase[i] == _PHASE_DOUBLING:
+                count = int(self.hi[i])
+            else:
+                span = int(self.hi[i] - self.lo[i])
+                if not (span > 1 and span > self.convergence * self.hi[i]):
+                    self._finish_repeat(i, found=True)
+                    continue
+                count = int((self.lo[i] + self.hi[i]) // 2)
+            cached = book.cache.get(count)
+            if cached is None:
+                return count
+            book.cache_hits += 1
+            book.history.append(cached)
+            self._apply_single(i, cached.flips)
+        return None
+
+    def _apply_single(self, i: int, flips: int) -> None:
+        """Scalar bracket update for one probe outcome (cache-hit path)."""
+        if self.phase[i] == _PHASE_DOUBLING:
+            if flips:
+                self.phase[i] = _PHASE_BISECT
+            else:
+                self.lo[i] = self.hi[i]
+                if self.hi[i] >= self.max_hammers:
+                    self._finish_repeat(i, found=False)
+                else:
+                    self.hi[i] = min(self.max_hammers, int(self.hi[i]) * 4)
+        else:
+            mid = int((self.lo[i] + self.hi[i]) // 2)
+            if flips:
+                self.hi[i] = mid
+            else:
+                self.lo[i] = mid
+
+    def _apply_round(
+        self, idxs: list[int], flips: list[int]
+    ) -> None:
+        """Bracket update after one fused replay round.
+
+        The per-victim bracket state lives in numpy arrays either way;
+        the vectorized update only pays off once a round carries enough
+        members to amortize the array dispatch overhead.
+        """
+        if len(idxs) < 8:
+            for position, i in enumerate(idxs):
+                self._apply_single(i, flips[position])
+            return
+        sel = np.asarray(idxs, dtype=np.intp)
+        flipped = np.asarray(flips, dtype=np.int64) > 0
+        phase = self.phase[sel]
+        lo = self.lo[sel]
+        hi = self.hi[sel]
+        doubling = phase == _PHASE_DOUBLING
+        bisect = ~doubling
+        mid = (lo + hi) // 2
+        miss = doubling & ~flipped
+        capped = miss & (hi >= self.max_hammers)
+        new_phase = np.where(doubling & flipped, _PHASE_BISECT, phase)
+        new_lo = np.where(miss, hi, np.where(bisect & ~flipped, mid, lo))
+        new_hi = np.where(
+            miss & ~capped,
+            np.minimum(self.max_hammers, hi * 4),
+            np.where(bisect & flipped, mid, hi),
+        )
+        self.phase[sel] = new_phase
+        self.lo[sel] = new_lo
+        self.hi[sel] = new_hi
+        for position, i in enumerate(idxs):
+            if capped[position]:
+                self._finish_repeat(i, found=False)
+
+    # -- fused replay ----------------------------------------------------
+    def _probe(self, i: int, count: int) -> ProbeResult:
+        """One probe of unit ``i``: captured-trace fast path when possible.
+
+        The first probe of each loop shape runs the full command pipeline
+        under capture taps; every later probe of that shape re-applies the
+        compiled trace's resolved deposit plans directly.  Capturing works
+        even on the unit's very first probe: the only probe-1-specific
+        event shapes are the prologue write sessions (no steady tAggOff
+        sentinel yet), which the compiler synthesizes into their steady
+        form, and cross-probe tAggOff gaps, which are always past the
+        model's flat-band edge and hence plan-equivalent.
+        """
+        unit = self.units[i]
+        assert unit is not None
+        bank = self.bank
+        if unit.fast_allowed:
+            sig = _shape_signature(unit.loops, count)
+            trace = unit.traces.get(sig)
+            if trace is not None:
+                if trace.temperature_c == bank.temperature_c:
+                    return self._replay_probe_fast(i, count, trace)
+                unit.traces.clear()
+            donor = self._donor[i]
+            if donor is not None:
+                r, delta = donor
+                donor_unit = self.units[r]
+                donor_trace = (
+                    donor_unit.traces.get(sig)
+                    if donor_unit is not None and donor_unit.fast_allowed
+                    else None
+                )
+                if (
+                    donor_trace is not None
+                    and donor_trace.temperature_c == bank.temperature_c
+                ):
+                    trace = self._translate_trace(donor_trace, delta, unit)
+                    unit.traces[sig] = trace
+                    return self._replay_probe_fast(i, count, trace)
+            return self._capture_probe(i, count, sig)
+        return self._replay_probe(i, count)
+
+    def _replay_probe(self, i: int, count: int, capture=None) -> ProbeResult:
+        unit = self.units[i]
+        assert unit is not None
+        bank = self.bank
+        T = self.clock
+        if capture is not None:
+            capture["start"] = T
+            capture["stats0"] = dict(bank.stats)
+            capture["windows"] = []
+            capture["segments"] = []
+            capture["taps"] = []
+            bank.probe_tap = capture["taps"].append
+        try:
+            t = bank.restore_rows(unit.snapshot, T)
+            if capture is not None:
+                capture["windows"].append((T, "restore", None))
+                capture["stats_restore"] = dict(bank.stats)
+            for seg_pos, (stream, fixed) in enumerate(unit.loops):
+                loop_count = count if fixed is None else fixed
+                if loop_count <= 0:
+                    continue
+                base = t
+                start_stats = (
+                    dict(bank.stats) if capture is not None else None
+                )
+                bank.execute_stream(
+                    stream.op_list, stream.row_list, stream.offset_list, base
+                )
+                if capture is not None:
+                    capture["windows"].append((base, "warm", seg_pos))
+                    warm_stats = dict(bank.stats)
+                scaled_stats = None
+                if loop_count > 1:
+                    before = dict(bank.stats)
+                    saved = bank.event_times
+                    bank.event_times = saved * (loop_count - 1)
+                    try:
+                        bank.execute_stream(
+                            stream.op_list,
+                            stream.row_list,
+                            stream.offset_list,
+                            base + stream.duration_ns,
+                        )
+                    finally:
+                        bank.event_times = saved
+                    if capture is not None:
+                        capture["windows"].append(
+                            (base + stream.duration_ns, "scaled", seg_pos)
+                        )
+                        scaled_stats = dict(bank.stats)
+                    if loop_count > 2:
+                        stats = bank.stats
+                        for key, value in before.items():
+                            delta = stats[key] - value
+                            if delta:
+                                stats[key] += delta * (loop_count - 2)
+                if capture is not None:
+                    capture["segments"].append(
+                        (seg_pos, fixed, loop_count, start_stats,
+                         warm_stats, scaled_stats, dict(bank.stats))
+                    )
+                t = base + stream.duration_ns * loop_count
+            if capture is not None:
+                capture["windows"].append((t, "epilogue", None))
+            bank.flush(t)
+            timing = self.module.timing
+            t += timing.tRP
+            bank.act(unit.victim, t)
+            data = bank.rd(unit.victim, t + timing.tRCD)
+            bank.pre(t + timing.tRAS)
+            # Emit the read session now rather than holding it to the next
+            # probe's re-initialization flush: its content froze at the
+            # PRE, and no interleaved unit touches this victim's rows
+            # before that flush would run (disjoint blast sets), so the
+            # deposit lands on identical state either way.
+            bank.flush(t + timing.tRAS)
+            if capture is not None:
+                capture["stats_end"] = dict(bank.stats)
+        finally:
+            if capture is not None:
+                bank.probe_tap = None
+        self.clock = t + timing.tRAS
+        flips = count_flips(data, unit.expected)
+        return ProbeResult(
+            count, flips, (unit.victim,) if flips else ()
+        )
+
+    def _capture_probe(self, i: int, count: int, sig) -> ProbeResult:
+        """Run one slow probe under taps and compile its replay trace."""
+        unit = self.units[i]
+        assert unit is not None
+        capture: dict = {}
+        result = self._replay_probe(i, count, capture=capture)
+        trace = self._compile_trace(unit, count, capture)
+        if trace is None:
+            unit.fast_allowed = False
+        else:
+            unit.traces[sig] = trace
+        return result
+
+    def _compile_trace(
+        self, unit: _BatchedUnit, count: int, capture: dict
+    ) -> Optional[_Trace]:
+        """Compile a captured probe into a :class:`_Trace`, or None.
+
+        Returns None (disabling the fast path for the unit) when the
+        capture shows anything a deposit-plan replay cannot express: a
+        SiMRA event (charge-sharing writes), a prologue that is not one
+        plain write session per snapshot row, a tAggOff gap whose value
+        could change with the probe count (a close separated from the
+        re-activation by a count-scaled segment, inside the model's
+        sloped band), or bank counters that do not follow the
+        ``const + linear * (count - 1)`` arithmetic.
+        """
+        bank = self.bank
+        model = bank.model
+        T = capture["start"]
+        windows = capture["windows"]
+        starts = [w[0] for w in windows]
+        n_wins = len(windows)
+        buckets: list[list] = [[] for _ in windows]
+        simra = ActivationEvent.Kind.SIMRA
+        # Steadiness pre-computation: a captured gap is probe-invariant if
+        # its closing timestamp sits in the same segment group as the
+        # re-activation (rigid relative offsets), or if every segment
+        # before the event's group has a fixed count (rigid offsets from
+        # the probe start), or if the gap is past the model's flat-band
+        # edge (cross-probe and cross-varying-segment gaps always are --
+        # a restore pass alone is longer than the band).
+        varying = [fixed is None for _stream, fixed in unit.loops]
+        warm_start = {
+            seg: start for start, wkind, seg in windows if wkind == "warm"
+        }
+        aggoff_ref = model._AGGOFF_REF_GAP_NS
+        group_starts: list[float] = []
+        rigid: list[bool] = []
+        for start, wkind, seg_pos in windows:
+            if wkind == "restore":
+                group_starts.append(start)
+                rigid.append(True)
+            elif wkind == "epilogue":
+                group_starts.append(start)
+                rigid.append(not any(varying))
+            else:
+                group_starts.append(warm_start[seg_pos])
+                rigid.append(not any(varying[:seg_pos]))
+        pointer = 0
+        for tap in capture["taps"]:
+            kind = tap[0]
+            if kind == "touch":
+                ts = tap[2]
+                while pointer + 1 < n_wins and ts >= starts[pointer + 1]:
+                    pointer += 1
+                row = tap[1]
+                buckets[pointer].append((
+                    "touch", row, ts - starts[pointer],
+                    model._state(bank.index, row),
+                    bank.retention.retention_ns(bank.index, row),
+                ))
+            elif kind == "copy":
+                buckets[pointer].append(tap)
+            else:  # event
+                _tag, event, pattern, times = tap
+                if event.t_open_ns < T:
+                    continue  # a foreign unit's held-back session
+                if event.kind is simra:
+                    return None
+                widx = n_wins - 1
+                while widx > 0 and event.t_open_ns < starts[widx]:
+                    widx -= 1
+                _start, wkind, seg_pos = windows[widx]
+                for row, gap in event.t_agg_off_ns.items():
+                    if gap >= aggoff_ref:
+                        continue
+                    t_closed = event.t_open_ns - gap
+                    if t_closed >= group_starts[widx] - 1e-6:
+                        continue
+                    if rigid[widx] and t_closed >= T - 1e-6:
+                        continue
+                    return None
+                scaled = (
+                    wkind == "scaled" and unit.loops[seg_pos][1] is None
+                )
+                plan, pkey = _resolve_plan(
+                    model, event, bank.temperature_c, pattern
+                )
+                if plan is None:
+                    return None
+                buckets[pointer].append((
+                    "event",
+                    _TraceEvent(
+                        event, event.rows[0], pattern, plan,
+                        scaled, float(times), plan_key=pkey,
+                    ),
+                ))
+        # prologue: exactly one write session per snapshot row, in order,
+        # synthesized into the steady shape -- from probe 2 on the bank's
+        # restore pass stamps the -1.0 "closed before this probe" sentinel
+        # on every re-initialization write (idempotent when the capture
+        # probe already carried it), so a trace captured on the unit's
+        # very first probe replays the later probes exactly
+        rows = unit.snapshot.rows
+        restore_ops = buckets[0]
+        if len(restore_ops) != len(rows):
+            return None
+        prologue = []
+        for row, op in zip(rows, restore_ops):
+            if op[0] != "event":
+                return None
+            entry = op[1]
+            if entry.event.rows != (row,) or entry.scaled:
+                return None
+            variants = []
+            for variant in (
+                replace(entry.event, t_agg_off_ns={row: -1.0}),
+                replace(entry.event, t_agg_off_ns={}),
+            ):
+                plan, pkey = _resolve_plan(
+                    model, variant, bank.temperature_c, entry.pattern
+                )
+                variants.append(_TraceEvent(
+                    variant, row, entry.pattern, plan,
+                    False, entry.times, plan_key=pkey,
+                ))
+            prologue.append(tuple(variants))
+        # per-segment op lists (skipped segments replay as empty)
+        warm_by_seg: dict[int, list] = {}
+        scaled_by_seg: dict[int, list] = {}
+        for (start, wkind, seg_pos), ops in zip(windows, buckets):
+            if wkind == "warm":
+                warm_by_seg[seg_pos] = ops
+            elif wkind == "scaled":
+                scaled_by_seg[seg_pos] = ops
+        segments = [
+            (warm_by_seg.get(pos, []), scaled_by_seg.get(pos, []))
+            for pos in range(len(unit.loops))
+        ]
+        epilogue = buckets[-1] if windows[-1][1] == "epilogue" else []
+        # bank counter arithmetic: const + linear * (count - 1)
+        stats_const: dict = {}
+        stats_linear: dict = {}
+
+        def _accumulate(target: dict, after: dict, before: dict, factor=1):
+            for key, value in after.items():
+                delta = value - before[key]
+                if delta:
+                    target[key] = target.get(key, 0) + delta * factor
+
+        _accumulate(stats_const, capture["stats_restore"], capture["stats0"])
+        last_end = capture["stats_restore"]
+        for (
+            _pos, fixed, loop_count, start_stats,
+            warm_stats, scaled_stats, end_stats,
+        ) in capture["segments"]:
+            _accumulate(stats_const, warm_stats, start_stats)
+            if scaled_stats is not None:
+                if fixed is None:
+                    _accumulate(stats_linear, scaled_stats, warm_stats)
+                else:
+                    _accumulate(
+                        stats_const, scaled_stats, warm_stats, fixed - 1
+                    )
+            last_end = end_stats
+        _accumulate(stats_const, capture["stats_end"], last_end)
+        # sanity: the captured probe must follow the same arithmetic
+        for key, total in capture["stats_end"].items():
+            expected = (
+                capture["stats0"][key]
+                + stats_const.get(key, 0)
+                + stats_linear.get(key, 0) * (count - 1)
+            )
+            if total != expected:
+                return None
+        return _Trace(
+            temperature_c=bank.temperature_c,
+            prologue=prologue,
+            segments=segments,
+            epilogue=epilogue,
+            stats_const=stats_const,
+            stats_linear=stats_linear,
+            flips_by_version=bool(
+                np.array_equal(
+                    unit.snapshot.images[unit.victim], unit.expected
+                )
+            ),
+            prologue_meta=_prologue_meta(bank, unit, segments, epilogue),
+        )
+
+    def _translation_of(self, r: int, i: int) -> Optional[int]:
+        """Row shift turning unit ``r`` into unit ``i``, or None.
+
+        The command pipeline is deterministic in the stream's op/offset
+        shape, the activated rows, the row images and the timing -- none
+        of the per-row runtime state (damage, retention, realized flips)
+        changes *which* taps a probe produces, only what the replayed
+        guards do with them.  So when unit ``i`` is unit ``r`` shifted by
+        a constant row delta with byte-identical images, ``r``'s compiled
+        trace translates into ``i``'s exactly.
+        """
+        ur = self.units[r]
+        ui = self.units[i]
+        assert ur is not None and ui is not None
+        delta = ui.victim - ur.victim
+        if len(ur.loops) != len(ui.loops):
+            return None
+        for (sr, fr), (si, fi) in zip(ur.loops, ui.loops):
+            if fr != fi or sr.duration_ns != si.duration_ns:
+                return None
+            if not np.array_equal(sr.ops, si.ops):
+                return None
+            if not np.array_equal(sr.offsets, si.offsets):
+                return None
+            shifted = np.where(
+                sr.ops == STREAM_ACT, sr.rows + delta, sr.rows
+            )
+            if not np.array_equal(shifted, si.rows):
+                return None
+        rows_r = ur.snapshot.rows
+        rows_i = ui.snapshot.rows
+        if tuple(row + delta for row in rows_r) != rows_i:
+            return None
+        images_r = ur.snapshot.images
+        images_i = ui.snapshot.images
+        for row in rows_r:
+            if not np.array_equal(images_r[row], images_i[row + delta]):
+                return None
+        if not np.array_equal(ur.expected, ui.expected):
+            return None
+        return delta
+
+    def _translate_trace(
+        self, donor: _Trace, delta: int, unit: _BatchedUnit
+    ) -> _Trace:
+        """Re-target a donor unit's compiled trace by a constant row shift.
+
+        Events are rebuilt with shifted rows and re-resolved against the
+        model's plan cache (per-row plans cannot be shared); the donor's
+        capture-time pattern carries over because the row images are
+        byte-identical, and the ``version=None`` guard re-checks it on
+        first application anyway.  Touch ops re-resolve their row state
+        and retention threshold; the counter arithmetic is structural and
+        shared as-is.
+        """
+        bank = self.bank
+        model = bank.model
+        bi = bank.index
+        temperature = bank.temperature_c
+        retention_ns = bank.retention.retention_ns
+        state_of = model._state
+
+        def entry_of(entry: _TraceEvent) -> _TraceEvent:
+            event = entry.event
+            rows = tuple(row + delta for row in event.rows)
+            # direct field-for-field construction: dataclasses.replace sits
+            # on the per-unit translation path and costs several times the
+            # constructor call
+            shifted = ActivationEvent(
+                rows=rows,
+                kind=event.kind,
+                bank=event.bank,
+                t_open_ns=event.t_open_ns,
+                t_close_ns=event.t_close_ns,
+                pre_to_act_ns=event.pre_to_act_ns,
+                simra_act_to_pre_ns=event.simra_act_to_pre_ns,
+                t_agg_off_ns={
+                    row + delta: gap
+                    for row, gap in event.t_agg_off_ns.items()
+                },
+                partial=event.partial,
+            )
+            key = (
+                _shift_plan_key(entry.plan_key, delta)
+                if entry.plan_key is not None else None
+            )
+            plan, key = _resolve_plan(
+                model, shifted, temperature, entry.pattern, key
+            )
+            return _TraceEvent(
+                shifted, rows[0], entry.pattern, plan,
+                entry.scaled, entry.times, plan_key=key,
+            )
+
+        def ops_of(ops: list) -> list:
+            out = []
+            for op in ops:
+                tag = op[0]
+                if tag == "touch":
+                    row = op[1] + delta
+                    out.append((
+                        "touch", row, op[2],
+                        state_of(bi, row), retention_ns(bi, row),
+                    ))
+                elif tag == "event":
+                    out.append(("event", entry_of(op[1])))
+                else:
+                    out.append(("copy", op[1] + delta, op[2] + delta))
+            return out
+
+        segments = [
+            (ops_of(warm_ops), ops_of(scaled_ops))
+            for warm_ops, scaled_ops in donor.segments
+        ]
+        epilogue = ops_of(donor.epilogue)
+        return _Trace(
+            temperature_c=temperature,
+            prologue=[
+                (entry_of(steady), entry_of(cold))
+                for steady, cold in donor.prologue
+            ],
+            segments=segments,
+            epilogue=epilogue,
+            stats_const=donor.stats_const,
+            stats_linear=donor.stats_linear,
+            flips_by_version=bool(
+                np.array_equal(
+                    unit.snapshot.images[unit.victim], unit.expected
+                )
+            ),
+            prologue_meta=_prologue_meta(bank, unit, segments, epilogue),
+        )
+
+    def _fast_event(self, entry: _TraceEvent, times: float) -> None:
+        """Apply a captured event's deposit plan, guarding the pattern.
+
+        The data version is a faithful change counter for the aggressor's
+        row data, so an unchanged version skips the pattern lookup; on a
+        version move the (version-cached) ``pattern_of`` runs and the plan
+        is re-resolved only if the classification actually changed --
+        exactly the lookups the scalar emission path would perform.
+        """
+        bank = self.bank
+        row0 = entry.row0
+        version = bank._data_version.get(row0, 0)
+        if version != entry.version:
+            pattern = bank.pattern_of(row0)
+            if pattern != entry.pattern:
+                entry.pattern = pattern
+                entry.plan, entry.plan_key = _resolve_plan(
+                    bank.model, entry.event, bank.temperature_c, pattern
+                )
+            entry.version = version
+        bank.model._apply_plan(entry.plan, times)
+
+    def _replay_probe_fast(
+        self, i: int, count: int, trace: _Trace
+    ) -> ProbeResult:
+        """Re-apply a captured probe trace; state-identical to the slow
+        replay by construction (same restores, same plan applications in
+        the same order, same counters), minus the command pipeline."""
+        unit = self.units[i]
+        assert unit is not None
+        bank = self.bank
+        model = bank.model
+        timing = self.module.timing
+        T = self.clock
+        if bank._pending is not None:
+            # a scalar-fallback neighbor probe left a session held back
+            bank._flush_pending_event(T + timing.tRP)
+        t_rp = timing.tRP
+        t_wr_at = t_rp + timing.tRCD
+        stride = t_rp + timing.tRAS + timing.tWR
+        snapshot = unit.snapshot
+        bank_versions = bank._data_version
+        versions = snapshot.versions
+        images = snapshot.images
+        last_restore = bank._last_restore
+        last_close = bank._last_close
+        frac = bank._frac
+        fast_event = self._fast_event
+        restore_full = bank._restore_row
+        one_to_zero = FlipDirection.ONE_TO_ZERO
+        zero_to_one = FlipDirection.ZERO_TO_ONE
+        # prologue: the bank's restore_rows pass, write events interleaved
+        # one slot late (the pipeline's one-command holdback); each row's
+        # steady/cold write entry is chosen before its close is recorded,
+        # exactly as the restore pass snapshots ``closed_before``
+        t = T
+        apply_plan = model._apply_plan
+        pending_entry = None
+        for (row, state, preset), pair in zip(
+            trace.prologue_meta, trace.prologue
+        ):
+            if pending_entry is not None:
+                # a prologue row's data always equals its snapshot image
+                # when the deferred write event fires, so the compiled
+                # plan is valid without a version/pattern check
+                apply_plan(pending_entry.plan, pending_entry.times)
+            pending_entry = pair[0] if row in last_close else pair[1]
+            if bank_versions.get(row, 0) != versions.get(row):
+                bank._row_data(row)[:] = images[row]
+                bank._bump_version(row)
+                version = bank_versions[row]
+                versions[row] = version
+                # the row now holds its image again: image-patterned event
+                # entries are valid against this version by construction
+                for entry in preset:
+                    entry.version = version
+            last_restore[row] = t + t_wr_at
+            frac.discard(row)
+            # model.restore_row on the pre-resolved state, in place
+            state.damage.clear()
+            applied = state.flips_applied
+            applied[one_to_zero] = 0
+            applied[zero_to_one] = 0
+            state.flipped_cells.clear()
+            last_close[row] = t + stride
+            t += stride
+        if pending_entry is not None:
+            apply_plan(pending_entry.plan, pending_entry.times)
+        victim = unit.victim
+        # after the restore pass the victim's data equals its snapshot
+        # image; if no later op moves its version, the read-back below is
+        # flip-free without comparing bytes
+        victim_version = (
+            bank_versions.get(victim, 0) if trace.flips_by_version else None
+        )
+        # hammer segments and epilogue share one op interpreter; the
+        # version-match common case of the event guard is inlined (one
+        # dict probe) and only guard misses take the _fast_event call
+        scaled_times = count - 1.0
+        dv_get = bank_versions.get
+
+        def run_ops(ops: list, base: float) -> None:
+            for op in ops:
+                tag = op[0]
+                if tag == "event":
+                    entry = op[1]
+                    times = scaled_times if entry.scaled else entry.times
+                    if dv_get(entry.row0, 0) == entry.version:
+                        apply_plan(entry.plan, times)
+                    else:
+                        fast_event(entry, times)
+                elif tag == "touch":
+                    # _fast_touch's common path, inlined: charge
+                    # restoration where nothing observable can happen --
+                    # retention below threshold and damage below the
+                    # realize early-out -- reduces to the model's state
+                    # reset (in place; nothing aliases these dicts)
+                    row = op[1]
+                    t = base + op[2]
+                    last = last_restore.get(row)
+                    if last is not None and t - last > op[4]:
+                        restore_full(row, t)
+                        continue
+                    state = op[3]
+                    damage = state.damage
+                    if damage:
+                        if sum(damage.values()) >= 0.999:
+                            restore_full(row, t)
+                            continue
+                        damage.clear()
+                    applied = state.flips_applied
+                    applied[one_to_zero] = 0
+                    applied[zero_to_one] = 0
+                    state.flipped_cells.clear()
+                    last_restore[row] = t
+                else:  # copy
+                    bank._row_data(op[2])[:] = bank._row_data(op[1])
+                    bank._bump_version(op[2])
+
+        for (stream, fixed), (warm_ops, scaled_ops) in zip(
+            unit.loops, trace.segments
+        ):
+            loop_count = count if fixed is None else fixed
+            if loop_count <= 0:
+                continue
+            base = t
+            run_ops(warm_ops, base)
+            if loop_count > 1:
+                run_ops(scaled_ops, base + stream.duration_ns)
+            t = base + stream.duration_ns * loop_count
+        # epilogue: final flush, victim read, eager read-session emission
+        run_ops(trace.epilogue, t)
+        if (
+            victim_version is not None
+            and bank_versions.get(victim, 0) == victim_version
+        ):
+            flips = 0
+        else:
+            flips = count_flips(bank._row_data(victim), unit.expected)
+        t_close = t + t_rp + timing.tRAS
+        last_close[victim] = t_close
+        bank._last_pre_ns = t_close
+        stats = bank.stats
+        for key, value in trace.stats_const.items():
+            stats[key] += value
+        if count > 1:
+            for key, value in trace.stats_linear.items():
+                stats[key] += value * (count - 1)
+        self.clock = t_close
+        return ProbeResult(
+            count, flips, (victim,) if flips else ()
+        )
+
+    # -- driver ----------------------------------------------------------
+    def _run_scalar(self, i: int) -> None:
+        """Run one unit through the scalar search at its component slot."""
+        self.results[i] = find_hc_first_repeated(
+            self.setups[i],
+            repeats=self.repeats,
+            max_hammers=self.max_hammers,
+            convergence=self.convergence,
+            initial_guess=self.initial_guess,
+        )
+        self.books[i].done = True
+        self.found[i] = self.results[i].found
+
+    def run(self) -> list[HcFirstResult]:
+        if self.global_fallback:
+            # a unit touches bank-global clock-coupled state (REF rotor) or
+            # has an unknown footprint: reproduce the scalar loop verbatim
+            for i in range(len(self.setups)):
+                self._run_scalar(i)
+            return self.results  # type: ignore[return-value]
+        heads = [0] * len(self.components)
+        while True:
+            round_idxs: list[int] = []
+            round_counts: list[int] = []
+            for c, component in enumerate(self.components):
+                while heads[c] < len(component):
+                    i = component[heads[c]]
+                    if self.units[i] is None:
+                        # scalar fallback occupies its component slot, so
+                        # ordering against the units around it is scalar
+                        self._run_scalar(i)
+                        heads[c] += 1
+                        continue
+                    count = self._advance(i)
+                    if count is None:
+                        heads[c] += 1
+                        continue
+                    round_idxs.append(i)
+                    round_counts.append(count)
+                    break
+            if not round_idxs:
+                break
+            flips: list[int] = []
+            for i, count in zip(round_idxs, round_counts):
+                book = self.books[i]
+                result = self._probe(i, count)
+                book.cache[count] = result
+                book.history.append(result)
+                flips.append(result.flips)
+            self._apply_round(round_idxs, flips)
+        assert all(result is not None for result in self.results)
+        return self.results  # type: ignore[return-value]
+
+
+def run_batched_searches(
+    setups: Sequence[ProbeSetup],
+    repeats: int = 5,
+    max_hammers: int = DEFAULT_MAX_HAMMERS,
+    convergence: float = CONVERGENCE,
+    initial_guess: int = 1024,
+) -> list[HcFirstResult]:
+    """Run many single-victim HC_first searches with fused batched probes.
+
+    Bit-identical to calling
+    :func:`~repro.core.hcfirst.find_hc_first_repeated` on each setup in
+    order; setups that cannot take the fused path run the scalar search in
+    their component slot.
+    """
+    if not setups:
+        return []
+    engine = BatchedSearchEngine(
+        setups,
+        repeats=repeats,
+        max_hammers=max_hammers,
+        convergence=convergence,
+        initial_guess=initial_guess,
+    )
+    return engine.run()

@@ -5,13 +5,21 @@ Bender host, the temperature controller and the experiment scale, and
 exposes HC_first measurement primitives for every access pattern in the
 paper.  Experiments (:mod:`repro.experiments`) are thin sweeps over these
 primitives.
+
+Every ``measure_*`` primitive has a ``measure_many_*`` batched variant
+that accepts the whole victim list of a sweep at once and advances all
+of the HC_first searches together through
+:func:`repro.core.probe_batch.run_batched_searches`.  The batched
+variants are bit-identical to looping the scalar primitive (enforced by
+``tests/core/test_probe_batch.py``); they exist purely to amortize probe
+replays across victims.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +37,7 @@ from .hcfirst import (
     standard_row_data,
 )
 from .metrics import Measurement
+from .probe_batch import run_batched_searches
 from .scale import ExperimentScale
 
 
@@ -49,8 +58,30 @@ class CombinedResult:
         return self.hc_rowhammer / self.hc_combined
 
 
+@dataclass
+class _ProbeRequest:
+    """One scalar measurement call, reified so many can run batched.
+
+    A request is exactly the argument tuple `_measure` used to receive;
+    ``measure_many_*`` builds one request per scalar call and hands the
+    whole list to the batched engine instead of searching serially.
+    """
+
+    victims: tuple
+    aggressors: tuple
+    program_factory: Callable[[int], TestProgram]
+    mechanism: Mechanism
+    pattern: DataPattern
+    params: dict
+
+
 class CharacterizationSession:
     """Measurement primitives for one module."""
+
+    #: route ``measure_many_*`` through the batched probe engine; False
+    #: falls back to the scalar per-victim loop (bit-identical results,
+    #: used by the equivalence suite and for debugging)
+    batch_probes: bool = True
 
     def __init__(
         self,
@@ -169,10 +200,14 @@ class CharacterizationSession:
         ``'measured'`` runs the paper's four-pattern HC_first comparison.
         """
         if self.scale.wcdp_mode == "oracle":
-            cached = self._wcdp_cache.get((victim, mechanism))
-            if cached is not None:
-                return cached
-            return self.module.model.worst_case_pattern(self.bank, victim, mechanism)
+            key = (victim, mechanism)
+            cached = self._wcdp_cache.get(key)
+            if cached is None:
+                cached = self.module.model.worst_case_pattern(
+                    self.bank, victim, mechanism
+                )
+                self._wcdp_cache[key] = cached
+            return cached
         return self.measure_wcdp(victim, mechanism)
 
     def prefetch_wcdp(
@@ -244,6 +279,76 @@ class CharacterizationSession:
     # ------------------------------------------------------------------
     # Measurement helpers
     # ------------------------------------------------------------------
+    def _setup_for(self, request: _ProbeRequest, victim: int) -> ProbeSetup:
+        row_data = standard_row_data(
+            self.module, request.aggressors, [victim], request.pattern
+        )
+        return ProbeSetup(
+            module=self.module,
+            program_factory=request.program_factory,
+            row_data=row_data,
+            victims=[victim],
+            bank=self.bank,
+        )
+
+    def _wrap(self, request: _ProbeRequest, victim: int, outcome) -> Measurement:
+        return Measurement(
+            module_label=self.module.label,
+            vendor=self.module.vendor.value,
+            bank=self.bank,
+            victim=victim,
+            mechanism=request.mechanism,
+            hc_first=outcome.hc_first if outcome.found else None,
+            region=self.module.geometry.region_of_row(victim),
+            pattern=request.pattern,
+            temperature_c=self.temperature_c,
+            params=dict(request.params),
+        )
+
+    def _measure_requests(
+        self, requests: Sequence[_ProbeRequest], batched: bool = False
+    ) -> list[list[Measurement]]:
+        """Run requests and group the Measurements back per request.
+
+        ``batched=True`` routes the flattened (request, victim) searches
+        through the batched probe engine; the scalar loop is kept for
+        single requests, ``batch_probes=False``, and measured-WCDP mode
+        (where pattern resolution itself recurses into measurements).
+        """
+        flat = [
+            (index, victim)
+            for index, request in enumerate(requests)
+            for victim in request.victims
+        ]
+        setups = [
+            self._setup_for(requests[index], victim) for index, victim in flat
+        ]
+        use_engine = (
+            batched
+            and self.batch_probes
+            and self.scale.wcdp_mode == "oracle"
+            and len(setups) > 1
+        )
+        if use_engine:
+            outcomes = run_batched_searches(
+                setups,
+                repeats=self.scale.repeats,
+                max_hammers=self.scale.max_hammers,
+            )
+        else:
+            outcomes = [
+                find_hc_first_repeated(
+                    setup,
+                    repeats=self.scale.repeats,
+                    max_hammers=self.scale.max_hammers,
+                )
+                for setup in setups
+            ]
+        results: list[list[Measurement]] = [[] for _ in requests]
+        for (index, victim), outcome in zip(flat, outcomes):
+            results[index].append(self._wrap(requests[index], victim, outcome))
+        return results
+
     def _measure(
         self,
         victims: Sequence[int],
@@ -253,44 +358,19 @@ class CharacterizationSession:
         pattern: DataPattern,
         **params,
     ) -> list[Measurement]:
-        results = []
-        for victim in victims:
-            row_data = standard_row_data(self.module, aggressors, [victim], pattern)
-            setup = ProbeSetup(
-                module=self.module,
-                program_factory=program_factory,
-                row_data=row_data,
-                victims=[victim],
-                bank=self.bank,
-            )
-            outcome = find_hc_first_repeated(
-                setup,
-                repeats=self.scale.repeats,
-                max_hammers=self.scale.max_hammers,
-            )
-            results.append(
-                Measurement(
-                    module_label=self.module.label,
-                    vendor=self.module.vendor.value,
-                    bank=self.bank,
-                    victim=victim,
-                    mechanism=mechanism,
-                    hc_first=outcome.hc_first if outcome.found else None,
-                    region=self.module.geometry.region_of_row(victim),
-                    pattern=pattern,
-                    temperature_c=self.temperature_c,
-                    params=dict(params),
-                )
-            )
-        return results
+        request = _ProbeRequest(
+            tuple(victims), tuple(aggressors), program_factory,
+            mechanism, pattern, params,
+        )
+        return self._measure_requests([request])[0]
 
     # -- RowHammer / RowPress -------------------------------------------
-    def measure_rowhammer_ds(
+    def _rowhammer_ds_request(
         self,
         victim: int,
         pattern: Optional[DataPattern] = None,
         t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
-    ) -> Measurement:
+    ) -> _ProbeRequest:
         pattern = pattern or self.wcdp(victim, Mechanism.ROWHAMMER)
 
         def factory(count: int) -> TestProgram:
@@ -298,18 +378,42 @@ class CharacterizationSession:
                 self.module, victim, count, bank=self.bank, t_agg_on_ns=t_agg_on_ns
             )
 
-        return self._measure(
-            [victim], [victim - 1, victim + 1], factory,
-            Mechanism.ROWHAMMER, pattern, t_agg_on_ns=t_agg_on_ns, sided="double",
-        )[0]
+        return _ProbeRequest(
+            (victim,), (victim - 1, victim + 1), factory,
+            Mechanism.ROWHAMMER, pattern,
+            dict(t_agg_on_ns=t_agg_on_ns, sided="double"),
+        )
 
-    def measure_rowhammer_ss(
+    def measure_rowhammer_ds(
+        self,
+        victim: int,
+        pattern: Optional[DataPattern] = None,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+    ) -> Measurement:
+        request = self._rowhammer_ds_request(victim, pattern, t_agg_on_ns)
+        return self._measure_requests([request])[0][0]
+
+    def measure_many_rowhammer_ds(
+        self,
+        victims: Sequence[int],
+        pattern: Optional[DataPattern] = None,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+    ) -> list[Measurement]:
+        """Batched :meth:`measure_rowhammer_ds` over a victim list."""
+        victims = list(victims)
+        if pattern is None:
+            self.prefetch_wcdp(victims, Mechanism.ROWHAMMER)
+        requests = [
+            self._rowhammer_ds_request(v, pattern, t_agg_on_ns) for v in victims
+        ]
+        return [g[0] for g in self._measure_requests(requests, batched=True)]
+
+    def _rowhammer_ss_request(
         self,
         aggressor: int,
         pattern: Optional[DataPattern] = None,
         t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
-    ) -> list[Measurement]:
-        """Single-sided RowHammer; measures each adjacent victim."""
+    ) -> _ProbeRequest:
         victims = list(self.module.geometry.neighbors(aggressor, 1))
         pattern = pattern or self.wcdp(victims[0], Mechanism.ROWHAMMER)
 
@@ -319,9 +423,52 @@ class CharacterizationSession:
                 t_agg_on_ns=t_agg_on_ns,
             )
 
-        return self._measure(
-            victims, [aggressor], factory,
-            Mechanism.ROWHAMMER, pattern, t_agg_on_ns=t_agg_on_ns, sided="single",
+        return _ProbeRequest(
+            tuple(victims), (aggressor,), factory,
+            Mechanism.ROWHAMMER, pattern,
+            dict(t_agg_on_ns=t_agg_on_ns, sided="single"),
+        )
+
+    def measure_rowhammer_ss(
+        self,
+        aggressor: int,
+        pattern: Optional[DataPattern] = None,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+    ) -> list[Measurement]:
+        """Single-sided RowHammer; measures each adjacent victim."""
+        request = self._rowhammer_ss_request(aggressor, pattern, t_agg_on_ns)
+        return self._measure_requests([request])[0]
+
+    def measure_many_rowhammer_ss(
+        self,
+        aggressors: Sequence[int],
+        pattern: Optional[DataPattern] = None,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+    ) -> list[list[Measurement]]:
+        """Batched :meth:`measure_rowhammer_ss` over an aggressor list."""
+        requests = [
+            self._rowhammer_ss_request(a, pattern, t_agg_on_ns)
+            for a in aggressors
+        ]
+        return self._measure_requests(requests, batched=True)
+
+    def _far_ds_request(
+        self,
+        row_a: int,
+        row_b: int,
+        pattern: Optional[DataPattern] = None,
+    ) -> _ProbeRequest:
+        victims = list(self.module.geometry.neighbors(row_a, 1))
+        pattern = pattern or self.wcdp(victims[0], Mechanism.ROWHAMMER)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.far_double_sided_rowhammer(
+                self.module, row_a, row_b, count, bank=self.bank
+            )
+
+        return _ProbeRequest(
+            tuple(victims), (row_a, row_b), factory,
+            Mechanism.ROWHAMMER, pattern, dict(sided="far-double"),
         )
 
     def measure_far_ds_rowhammer(
@@ -331,28 +478,27 @@ class CharacterizationSession:
         pattern: Optional[DataPattern] = None,
     ) -> list[Measurement]:
         """Fig. 7's control: two distant aggressors at nominal timing."""
-        victims = list(self.module.geometry.neighbors(row_a, 1))
-        pattern = pattern or self.wcdp(victims[0], Mechanism.ROWHAMMER)
+        request = self._far_ds_request(row_a, row_b, pattern)
+        return self._measure_requests([request])[0]
 
-        def factory(count: int) -> TestProgram:
-            return patterns.far_double_sided_rowhammer(
-                self.module, row_a, row_b, count, bank=self.bank
-            )
-
-        return self._measure(
-            victims, [row_a, row_b], factory,
-            Mechanism.ROWHAMMER, pattern, sided="far-double",
-        )
+    def measure_many_far_ds_rowhammer(
+        self,
+        row_pairs: Sequence[tuple[int, int]],
+        pattern: Optional[DataPattern] = None,
+    ) -> list[list[Measurement]]:
+        """Batched :meth:`measure_far_ds_rowhammer` over (row_a, row_b) pairs."""
+        requests = [self._far_ds_request(a, b, pattern) for a, b in row_pairs]
+        return self._measure_requests(requests, batched=True)
 
     # -- CoMRA ------------------------------------------------------------
-    def measure_comra_ds(
+    def _comra_ds_request(
         self,
         victim: int,
         pattern: Optional[DataPattern] = None,
         pre_to_act_ns: float = patterns.COMRA_DELAY_NS,
         t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
         reverse: bool = False,
-    ) -> Measurement:
+    ) -> _ProbeRequest:
         pattern = pattern or self.wcdp(victim, Mechanism.COMRA)
 
         def factory(count: int) -> TestProgram:
@@ -362,21 +508,52 @@ class CharacterizationSession:
                 reverse=reverse,
             )
 
-        return self._measure(
-            [victim], [victim - 1, victim + 1], factory,
+        return _ProbeRequest(
+            (victim,), (victim - 1, victim + 1), factory,
             Mechanism.COMRA, pattern,
-            pre_to_act_ns=pre_to_act_ns, t_agg_on_ns=t_agg_on_ns,
-            reverse=reverse, sided="double",
-        )[0]
+            dict(pre_to_act_ns=pre_to_act_ns, t_agg_on_ns=t_agg_on_ns,
+                 reverse=reverse, sided="double"),
+        )
 
-    def measure_comra_ss(
+    def measure_comra_ds(
+        self,
+        victim: int,
+        pattern: Optional[DataPattern] = None,
+        pre_to_act_ns: float = patterns.COMRA_DELAY_NS,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+        reverse: bool = False,
+    ) -> Measurement:
+        request = self._comra_ds_request(
+            victim, pattern, pre_to_act_ns, t_agg_on_ns, reverse
+        )
+        return self._measure_requests([request])[0][0]
+
+    def measure_many_comra_ds(
+        self,
+        victims: Sequence[int],
+        pattern: Optional[DataPattern] = None,
+        pre_to_act_ns: float = patterns.COMRA_DELAY_NS,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+        reverse: bool = False,
+    ) -> list[Measurement]:
+        """Batched :meth:`measure_comra_ds` over a victim list."""
+        victims = list(victims)
+        if pattern is None:
+            self.prefetch_wcdp(victims, Mechanism.COMRA)
+        requests = [
+            self._comra_ds_request(v, pattern, pre_to_act_ns, t_agg_on_ns, reverse)
+            for v in victims
+        ]
+        return [g[0] for g in self._measure_requests(requests, batched=True)]
+
+    def _comra_ss_request(
         self,
         src: int,
         dst: int,
         pattern: Optional[DataPattern] = None,
         pre_to_act_ns: float = patterns.COMRA_DELAY_NS,
         victims: Optional[Sequence[int]] = None,
-    ) -> list[Measurement]:
+    ) -> _ProbeRequest:
         if victims is None:
             victims = list(self.module.geometry.neighbors(src, 1))
         else:
@@ -389,12 +566,83 @@ class CharacterizationSession:
                 pre_to_act_ns=pre_to_act_ns,
             )
 
-        return self._measure(
-            victims, [src, dst], factory,
-            Mechanism.COMRA, pattern, pre_to_act_ns=pre_to_act_ns, sided="single",
+        return _ProbeRequest(
+            tuple(victims), (src, dst), factory,
+            Mechanism.COMRA, pattern,
+            dict(pre_to_act_ns=pre_to_act_ns, sided="single"),
         )
 
+    def measure_comra_ss(
+        self,
+        src: int,
+        dst: int,
+        pattern: Optional[DataPattern] = None,
+        pre_to_act_ns: float = patterns.COMRA_DELAY_NS,
+        victims: Optional[Sequence[int]] = None,
+    ) -> list[Measurement]:
+        request = self._comra_ss_request(src, dst, pattern, pre_to_act_ns, victims)
+        return self._measure_requests([request])[0]
+
+    def measure_many_comra_ss(
+        self,
+        row_pairs: Sequence[tuple[int, int]],
+        pattern: Optional[DataPattern] = None,
+        pre_to_act_ns: float = patterns.COMRA_DELAY_NS,
+        victims: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ) -> list[list[Measurement]]:
+        """Batched :meth:`measure_comra_ss` over (src, dst) pairs.
+
+        ``victims`` optionally pins the measured victims per pair (parallel
+        to ``row_pairs``; None entries fall back to ``src``'s neighbors).
+        """
+        row_pairs = list(row_pairs)
+        if victims is None:
+            victims = [None] * len(row_pairs)
+        requests = [
+            self._comra_ss_request(src, dst, pattern, pre_to_act_ns, chosen)
+            for (src, dst), chosen in zip(row_pairs, victims)
+        ]
+        return self._measure_requests(requests, batched=True)
+
     # -- SiMRA ------------------------------------------------------------
+    def _simra_ds_request(
+        self,
+        pair: patterns.SimraAddressPair,
+        pattern: Optional[DataPattern] = None,
+        victims: Optional[Sequence[int]] = None,
+        act_to_pre_ns: float = patterns.SIMRA_ACT_TO_PRE_NS,
+        pre_to_act_ns: float = patterns.SIMRA_PRE_TO_ACT_NS,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+        max_victims: int = 3,
+    ) -> Optional[_ProbeRequest]:
+        all_victims = pair.sandwiched_victims()
+        if victims is None:
+            chosen = list(all_victims[:max_victims])
+            sentinel = self.module.model.sentinel_row(Mechanism.SIMRA, self.bank)
+            if sentinel in all_victims and sentinel not in chosen:
+                # keep the scaled victim subset representative of the full
+                # sweep, which would always cover the weakest row
+                chosen[-1] = sentinel
+            victims = tuple(chosen)
+        if not victims:
+            return None
+        pattern = pattern or self.wcdp(victims[0], Mechanism.SIMRA)
+
+        def factory(count: int) -> TestProgram:
+            return patterns.simra_hammer(
+                self.module, pair, count, bank=self.bank,
+                act_to_pre_ns=act_to_pre_ns, pre_to_act_ns=pre_to_act_ns,
+                t_agg_on_ns=t_agg_on_ns,
+            )
+
+        return _ProbeRequest(
+            tuple(victims), tuple(pair.group), factory,
+            Mechanism.SIMRA, pattern,
+            dict(n_rows=pair.count, act_to_pre_ns=act_to_pre_ns,
+                 pre_to_act_ns=pre_to_act_ns, t_agg_on_ns=t_agg_on_ns,
+                 sided="double"),
+        )
+
     def measure_simra_ds(
         self,
         pair: patterns.SimraAddressPair,
@@ -406,41 +654,51 @@ class CharacterizationSession:
         max_victims: int = 3,
     ) -> list[Measurement]:
         """Double-sided SiMRA: HC_first of sandwiched victims of a group."""
-        all_victims = pair.sandwiched_victims()
-        if victims is None:
-            chosen = list(all_victims[:max_victims])
-            sentinel = self.module.model.sentinel_row(Mechanism.SIMRA, self.bank)
-            if sentinel in all_victims and sentinel not in chosen:
-                # keep the scaled victim subset representative of the full
-                # sweep, which would always cover the weakest row
-                chosen[-1] = sentinel
-            victims = tuple(chosen)
-        if not victims:
-            return []
-        pattern = pattern or self.wcdp(victims[0], Mechanism.SIMRA)
-
-        def factory(count: int) -> TestProgram:
-            return patterns.simra_hammer(
-                self.module, pair, count, bank=self.bank,
-                act_to_pre_ns=act_to_pre_ns, pre_to_act_ns=pre_to_act_ns,
-                t_agg_on_ns=t_agg_on_ns,
-            )
-
-        return self._measure(
-            list(victims), list(pair.group), factory,
-            Mechanism.SIMRA, pattern,
-            n_rows=pair.count, act_to_pre_ns=act_to_pre_ns,
-            pre_to_act_ns=pre_to_act_ns, t_agg_on_ns=t_agg_on_ns, sided="double",
+        request = self._simra_ds_request(
+            pair, pattern, victims, act_to_pre_ns, pre_to_act_ns,
+            t_agg_on_ns, max_victims,
         )
+        if request is None:
+            return []
+        return self._measure_requests([request])[0]
 
-    def measure_simra_ss(
+    def measure_many_simra_ds(
+        self,
+        pairs: Sequence[patterns.SimraAddressPair],
+        pattern: Optional[DataPattern] = None,
+        act_to_pre_ns: float = patterns.SIMRA_ACT_TO_PRE_NS,
+        pre_to_act_ns: float = patterns.SIMRA_PRE_TO_ACT_NS,
+        t_agg_on_ns: float = patterns.T_AGG_ON_NOMINAL_NS,
+        max_victims: int = 3,
+    ) -> list[list[Measurement]]:
+        """Batched :meth:`measure_simra_ds` over a group list.
+
+        Groups with no sandwiched victim yield an empty list in their
+        slot, mirroring the scalar method's return value.
+        """
+        pairs = list(pairs)
+        requests = []
+        slots: list[Optional[int]] = []
+        for pair in pairs:
+            request = self._simra_ds_request(
+                pair, pattern, None, act_to_pre_ns, pre_to_act_ns,
+                t_agg_on_ns, max_victims,
+            )
+            if request is None:
+                slots.append(None)
+            else:
+                slots.append(len(requests))
+                requests.append(request)
+        measured = self._measure_requests(requests, batched=True)
+        return [measured[slot] if slot is not None else [] for slot in slots]
+
+    def _simra_ss_request(
         self,
         pair: patterns.SimraAddressPair,
         pattern: Optional[DataPattern] = None,
         act_to_pre_ns: float = patterns.SIMRA_ACT_TO_PRE_NS,
         pre_to_act_ns: float = patterns.SIMRA_PRE_TO_ACT_NS,
-    ) -> list[Measurement]:
-        """Single-sided SiMRA: victims bordering a contiguous group."""
+    ) -> Optional[_ProbeRequest]:
         geometry = self.module.geometry
         edge_victims = []
         for candidate in (min(pair.group) - 1, max(pair.group) + 1):
@@ -451,7 +709,7 @@ class CharacterizationSession:
             ):
                 edge_victims.append(candidate)
         if not edge_victims:
-            return []
+            return None
         pattern = pattern or self.wcdp(edge_victims[0], Mechanism.SIMRA)
 
         def factory(count: int) -> TestProgram:
@@ -460,12 +718,52 @@ class CharacterizationSession:
                 act_to_pre_ns=act_to_pre_ns, pre_to_act_ns=pre_to_act_ns,
             )
 
-        return self._measure(
-            edge_victims, list(pair.group), factory,
+        return _ProbeRequest(
+            tuple(edge_victims), tuple(pair.group), factory,
             Mechanism.SIMRA, pattern,
-            n_rows=pair.count, sided="single",
-            act_to_pre_ns=act_to_pre_ns, pre_to_act_ns=pre_to_act_ns,
+            dict(n_rows=pair.count, sided="single",
+                 act_to_pre_ns=act_to_pre_ns, pre_to_act_ns=pre_to_act_ns),
         )
+
+    def measure_simra_ss(
+        self,
+        pair: patterns.SimraAddressPair,
+        pattern: Optional[DataPattern] = None,
+        act_to_pre_ns: float = patterns.SIMRA_ACT_TO_PRE_NS,
+        pre_to_act_ns: float = patterns.SIMRA_PRE_TO_ACT_NS,
+    ) -> list[Measurement]:
+        """Single-sided SiMRA: victims bordering a contiguous group."""
+        request = self._simra_ss_request(pair, pattern, act_to_pre_ns, pre_to_act_ns)
+        if request is None:
+            return []
+        return self._measure_requests([request])[0]
+
+    def measure_many_simra_ss(
+        self,
+        pairs: Sequence[patterns.SimraAddressPair],
+        pattern: Optional[DataPattern] = None,
+        act_to_pre_ns: float = patterns.SIMRA_ACT_TO_PRE_NS,
+        pre_to_act_ns: float = patterns.SIMRA_PRE_TO_ACT_NS,
+    ) -> list[list[Measurement]]:
+        """Batched :meth:`measure_simra_ss` over a group list.
+
+        Groups with no measurable edge victim yield an empty list in their
+        slot, mirroring the scalar method's return value.
+        """
+        pairs = list(pairs)
+        requests = []
+        slots: list[Optional[int]] = []
+        for pair in pairs:
+            request = self._simra_ss_request(
+                pair, pattern, act_to_pre_ns, pre_to_act_ns
+            )
+            if request is None:
+                slots.append(None)
+            else:
+                slots.append(len(requests))
+                requests.append(request)
+        measured = self._measure_requests(requests, batched=True)
+        return [measured[slot] if slot is not None else [] for slot in slots]
 
     # -- §6 combined patterns ----------------------------------------------
     def _pair_sandwiching(
@@ -488,6 +786,25 @@ class CharacterizationSession:
             if self._pair_sandwiching(victim) is not None
         ]
 
+    def _combined_request(
+        self,
+        victim: int,
+        pattern: DataPattern,
+        prefix_instructions: list,
+    ) -> _ProbeRequest:
+        def factory(count: int) -> TestProgram:
+            tail = patterns.double_sided_rowhammer(
+                self.module, victim, count, bank=self.bank
+            )
+            return TestProgram(
+                prefix_instructions + tail.instructions, "combined"
+            )
+
+        return _ProbeRequest(
+            (victim,), (victim - 1, victim + 1), factory,
+            Mechanism.ROWHAMMER, pattern, {},
+        )
+
     def measure_combined(
         self,
         victim: int,
@@ -499,65 +816,112 @@ class CharacterizationSession:
 
         Returns None when a needed phase has no measurable HC_first.
         """
-        pattern = pattern or self.wcdp(victim, Mechanism.ROWHAMMER)
-        hc_rh = self.measure_rowhammer_ds(victim, pattern=pattern)
-        if not hc_rh.found:
-            return None
+        return self.measure_many_combined(
+            [victim], comra_fraction, simra_fraction, pattern
+        )[0]
 
-        prefix_programs: list[TestProgram] = []
-        fractions: dict[str, float] = {}
-        if comra_fraction > 0:
-            hc_comra = self.measure_comra_ds(victim, pattern=pattern)
-            if not hc_comra.found:
-                return None
-            count = max(1, int(comra_fraction * hc_comra.hc_first * 0.999))
-            prefix_programs.append(
-                patterns.double_sided_comra(self.module, victim, count, bank=self.bank)
-            )
-            fractions["comra"] = comra_fraction
-        if simra_fraction > 0:
-            pair = self._pair_sandwiching(victim)
-            if pair is None:
-                return None
-            simra_ms = self.measure_simra_ds(pair, pattern=pattern, victims=(victim,))
-            if not simra_ms or not simra_ms[0].found:
-                return None
-            count = max(1, int(simra_fraction * simra_ms[0].hc_first * 0.999))
-            prefix_programs.append(
-                patterns.simra_hammer(self.module, pair, count, bank=self.bank)
-            )
-            fractions["simra"] = simra_fraction
+    def measure_many_combined(
+        self,
+        victims: Sequence[int],
+        comra_fraction: float = 0.0,
+        simra_fraction: float = 0.0,
+        pattern: Optional[DataPattern] = None,
+    ) -> list[Optional[CombinedResult]]:
+        """Batched §6 procedure over a victim list.
 
-        prefix_instructions = [
-            instr for program in prefix_programs for instr in program.instructions
+        Stage-decomposed: all RowHammer-alone searches run as one batch,
+        then the CoMRA / SiMRA characterization phases over the victims
+        that survive each stage's found-guard, then the combined searches.
+        Per-victim outcomes (including the None short-circuits) match the
+        scalar :meth:`measure_combined` loop exactly.
+        """
+        victims = list(victims)
+        if pattern is None:
+            self.prefetch_wcdp(victims, Mechanism.ROWHAMMER)
+        resolved = {
+            v: pattern or self.wcdp(v, Mechanism.ROWHAMMER) for v in victims
+        }
+        results: dict[int, Optional[CombinedResult]] = {v: None for v in victims}
+
+        rh_requests = [
+            self._rowhammer_ds_request(v, pattern=resolved[v]) for v in victims
         ]
+        measured = self._measure_requests(rh_requests, batched=True)
+        rh = {v: group[0] for v, group in zip(victims, measured)}
+        alive = [v for v in victims if rh[v].found]
 
-        def factory(count: int) -> TestProgram:
-            tail = patterns.double_sided_rowhammer(
-                self.module, victim, count, bank=self.bank
-            )
-            return TestProgram(
-                prefix_instructions + tail.instructions, "combined"
-            )
+        comra_hc: dict[int, float] = {}
+        if comra_fraction > 0 and alive:
+            requests = [
+                self._comra_ds_request(v, pattern=resolved[v]) for v in alive
+            ]
+            measured = self._measure_requests(requests, batched=True)
+            survivors = []
+            for v, group in zip(alive, measured):
+                if group[0].found:
+                    comra_hc[v] = group[0].hc_first
+                    survivors.append(v)
+            alive = survivors
 
-        row_data = standard_row_data(
-            self.module, [victim - 1, victim + 1], [victim], pattern
-        )
-        setup = ProbeSetup(
-            module=self.module,
-            program_factory=factory,
-            row_data=row_data,
-            victims=[victim],
-            bank=self.bank,
-        )
-        outcome = find_hc_first_repeated(
-            setup, repeats=self.scale.repeats, max_hammers=self.scale.max_hammers
-        )
-        if not outcome.found:
-            return None
-        return CombinedResult(
-            victim=victim,
-            hc_rowhammer=float(hc_rh.hc_first),
-            hc_combined=float(outcome.hc_first),
-            prefix_fractions=fractions,
-        )
+        simra_hc: dict[int, float] = {}
+        simra_pairs: dict[int, patterns.SimraAddressPair] = {}
+        if simra_fraction > 0 and alive:
+            with_pair = []
+            requests = []
+            for v in alive:
+                pair = self._pair_sandwiching(v)
+                if pair is None:
+                    continue
+                request = self._simra_ds_request(
+                    pair, pattern=resolved[v], victims=(v,)
+                )
+                if request is None:
+                    continue
+                simra_pairs[v] = pair
+                with_pair.append(v)
+                requests.append(request)
+            measured = self._measure_requests(requests, batched=True)
+            alive = []
+            for v, group in zip(with_pair, measured):
+                if group and group[0].found:
+                    simra_hc[v] = group[0].hc_first
+                    alive.append(v)
+
+        final_requests = []
+        final_meta = []
+        for v in alive:
+            prefix_programs: list[TestProgram] = []
+            fractions: dict[str, float] = {}
+            if comra_fraction > 0:
+                count = max(1, int(comra_fraction * comra_hc[v] * 0.999))
+                prefix_programs.append(
+                    patterns.double_sided_comra(self.module, v, count, bank=self.bank)
+                )
+                fractions["comra"] = comra_fraction
+            if simra_fraction > 0:
+                count = max(1, int(simra_fraction * simra_hc[v] * 0.999))
+                prefix_programs.append(
+                    patterns.simra_hammer(
+                        self.module, simra_pairs[v], count, bank=self.bank
+                    )
+                )
+                fractions["simra"] = simra_fraction
+            prefix_instructions = [
+                instr for program in prefix_programs
+                for instr in program.instructions
+            ]
+            final_requests.append(
+                self._combined_request(v, resolved[v], prefix_instructions)
+            )
+            final_meta.append((v, fractions))
+        measured = self._measure_requests(final_requests, batched=True)
+        for (v, fractions), group in zip(final_meta, measured):
+            outcome = group[0]
+            if outcome.found:
+                results[v] = CombinedResult(
+                    victim=v,
+                    hc_rowhammer=float(rh[v].hc_first),
+                    hc_combined=float(outcome.hc_first),
+                    prefix_fractions=fractions,
+                )
+        return [results[v] for v in victims]

@@ -158,6 +158,9 @@ class DisturbanceModel:
         self._tables: dict[tuple[int, int], PopulationTable] = {}
         self._states: dict[tuple[int, int], _RowState] = {}
         self._plans: OrderedDict[tuple, list] = OrderedDict()
+        self._factor_cache: dict[tuple, tuple] = {}
+        self._press_base_cache: dict[tuple, float] = {}
+        self._tpr_cache: dict[tuple, tuple] = {}
         self._flip_orders: dict[tuple[int, int, FlipDirection], np.ndarray] = {}
         self._sentinels = self._assign_sentinels()
 
@@ -555,34 +558,48 @@ class DisturbanceModel:
         if len(self._plans) > self._PLAN_CACHE_LIMIT:
             self._plans.popitem(last=False)
 
-    @staticmethod
-    def _event_time_key(event: ActivationEvent) -> tuple:
+    def _event_time_key(
+        self, event: ActivationEvent, with_pre_to_act: bool = True
+    ) -> tuple:
+        # tAggOff enters every plan only through _aggoff_factor, which is
+        # flat below _AGGOFF_MIN_GAP_NS and above _AGGOFF_REF_GAP_NS;
+        # clamping the key into that band collapses all equivalent gaps
+        # onto one cached plan instead of one plan per distinct gap.
+        lo = self._AGGOFF_MIN_GAP_NS
+        hi = self._AGGOFF_REF_GAP_NS
         return (
             round(event.t_agg_on_ns, 1),
-            round(event.pre_to_act_ns, 1) if event.pre_to_act_ns is not None else None,
+            round(event.pre_to_act_ns, 1)
+            if with_pre_to_act and event.pre_to_act_ns is not None
+            else None,
             round(event.simra_act_to_pre_ns, 1)
             if event.simra_act_to_pre_ns is not None
             else None,
-            tuple(sorted((r, round(v, 1)) for r, v in event.t_agg_off_ns.items())),
+            tuple(
+                sorted(
+                    (r, round(min(max(v, lo), hi), 1))
+                    for r, v in event.t_agg_off_ns.items()
+                )
+            ),
         )
 
     def _apply_plan(self, plan: list, times: float) -> None:
         for state, side, dom_key, oth_key, inc_dom, inc_oth, penalty in plan:
+            hits = state.hit_counter + 1
+            state.hit_counter = hits
+            side_hit = state.last_side_hit
             if side is None:
                 # sandwiched double-sided hit: both wordlines toggle
-                state.hit_counter += 1
-                state.last_side_hit[-1] = state.hit_counter
-                state.last_side_hit[1] = state.hit_counter
-                scale = float(times)
+                side_hit[-1] = hits
+                side_hit[1] = hits
+                scale = times
             else:
-                state.hit_counter += 1
-                state.last_side_hit[side] = state.hit_counter
-                other = state.last_side_hit.get(-side)
+                side_hit[side] = hits
+                other = side_hit.get(-side)
                 synergy = (
-                    other is not None
-                    and state.hit_counter - other <= SYNERGY_HIT_WINDOW
+                    other is not None and hits - other <= SYNERGY_HIT_WINDOW
                 )
-                scale = float(times) if synergy else times / penalty
+                scale = times if synergy else times / penalty
             damage = state.damage
             damage[dom_key] = damage.get(dom_key, 0.0) + inc_dom * scale
             damage[oth_key] = damage.get(oth_key, 0.0) + inc_oth * scale
@@ -617,9 +634,11 @@ class DisturbanceModel:
         times: float,
     ) -> None:
         (aggressor,) = event.rows
+        # _build_single_plan never reads pre_to_act, so two events that
+        # differ only in that gap share a plan.
         key = (
             "single", event.bank, aggressor, temperature_c, aggressor_pattern,
-            self._event_time_key(event),
+            self._event_time_key(event, with_pre_to_act=False),
         )
         plan = self._plan_lookup(key)
         if plan is None:
@@ -634,22 +653,49 @@ class DisturbanceModel:
         aggressor_pattern: Optional[DataPattern],
     ) -> list:
         (aggressor,) = event.rows
+        # tAggOff scales every weight by one scalar, so all gap variants of
+        # an aggressor's plan share a gap-free base (built once, cached at
+        # the same key granularity as the plan LRU) and differ only by a
+        # cheap per-entry rescale.  tAggOn enters the base only through the
+        # profile-independent interpolated press factor, so the base is
+        # keyed on that value: every on-time below the 36 ns clamp (hammer
+        # ACTs and re-initialization write sessions alike) collapses onto
+        # one shared build.
         mech = Mechanism.ROWHAMMER
-        plan = []
         aggoff = self._aggoff_factor(event.t_agg_off_ns.get(aggressor))
-        for distance, dist_weight in self._distance_weights():
-            for victim in self.geometry.neighbors(aggressor, distance):
-                prof = self.profile(event.bank, victim)
-                side = 1 if aggressor > victim else -1
-                weight = 0.5 * dist_weight * aggoff
-                weight *= self._common_factors(
-                    prof, mech, event.t_agg_on_ns, temperature_c,
-                    aggressor_pattern, simra_count=None,
-                )
-                plan.append(
-                    self._plan_entry(event.bank, victim, prof, mech, weight, side)
-                )
-        return plan
+        pkey = (mech, event.t_agg_on_ns)
+        press_base = self._press_base_cache.get(pkey)
+        if press_base is None:
+            anchors = self.vendor_cal.press_anchors[mech]
+            press_base = log_interp(max(event.t_agg_on_ns, 36.0), anchors)
+            self._press_base_cache[pkey] = press_base
+        base_key = (
+            "single-base", event.bank, aggressor,
+            press_base, temperature_c, aggressor_pattern,
+        )
+        base = self._plan_lookup(base_key)
+        if base is None:
+            base = []
+            for distance, dist_weight in self._distance_weights():
+                for victim in self.geometry.neighbors(aggressor, distance):
+                    prof = self.profile(event.bank, victim)
+                    side = 1 if aggressor > victim else -1
+                    weight = 0.5 * dist_weight * self._common_factors(
+                        prof, mech, event.t_agg_on_ns, temperature_c,
+                        aggressor_pattern, simra_count=None,
+                    )
+                    base.append(
+                        self._plan_entry(
+                            event.bank, victim, prof, mech, weight, side
+                        )
+                    )
+            self._plan_store(base_key, base)
+        if aggoff == 1.0:
+            return base
+        return [
+            (state, side, dom, oth, inc_dom * aggoff, inc_oth * aggoff, pen)
+            for state, side, dom, oth, inc_dom, inc_oth, pen in base
+        ]
 
     # -- CoMRA pair -------------------------------------------------------
     def _apply_comra(
@@ -803,12 +849,47 @@ class DisturbanceModel:
         aggressor_pattern: Optional[DataPattern],
         simra_count: Optional[int],
     ) -> float:
-        return (
-            self._press_factor(prof, mechanism, t_agg_on_ns)
-            * self._temperature_factor(prof, mechanism, temperature_c)
-            * self._pattern_factor(prof, mechanism, aggressor_pattern)
-            * self._region_factor(prof, mechanism, simra_count)
-        )
+        # Every input is a pure value: the product is memoized per profile,
+        # which collapses the repeated per-neighbor factor math across the
+        # many plans that visit the same row under identical conditions
+        # (same pattern/temperature/timing).  The profile is keyed by id()
+        # and pinned in the cache entry so the id stays valid.
+        key = (id(prof), mechanism, t_agg_on_ns, temperature_c,
+               aggressor_pattern, simra_count)
+        cached = self._factor_cache.get(key)
+        if cached is not None and cached[0] is prof:
+            return cached[1]
+        # Two sub-memos keep a full miss cheap: the tAggOn interpolation is
+        # profile-independent (one value per distinct on-time), and the
+        # temperature/pattern/region product is tAggOn-independent (one
+        # value per profile under fixed conditions) -- so plans for the
+        # same rows at different on-times, the common case when hammer and
+        # prologue-write events visit one neighborhood, recompute neither.
+        pkey = (mechanism, t_agg_on_ns)
+        press_base = self._press_base_cache.get(pkey)
+        if press_base is None:
+            anchors = self.vendor_cal.press_anchors[mechanism]
+            press_base = log_interp(max(t_agg_on_ns, 36.0), anchors)
+            self._press_base_cache[pkey] = press_base
+        if press_base <= 1.0:
+            press = press_base
+        else:
+            press = 1.0 + (press_base - 1.0) * prof.press_noise
+        tkey = (id(prof), mechanism, temperature_c, aggressor_pattern,
+                simra_count)
+        tpr_cached = self._tpr_cache.get(tkey)
+        if tpr_cached is not None and tpr_cached[0] is prof:
+            tpr = tpr_cached[1]
+        else:
+            tpr = (
+                self._temperature_factor(prof, mechanism, temperature_c)
+                * self._pattern_factor(prof, mechanism, aggressor_pattern)
+                * self._region_factor(prof, mechanism, simra_count)
+            )
+            self._tpr_cache[tkey] = (prof, tpr)
+        value = press * tpr
+        self._factor_cache[key] = (prof, value)
+        return value
 
     # ------------------------------------------------------------------
     # Bitflip materialization
@@ -1125,14 +1206,16 @@ class DisturbanceModel:
 
 
 def classify_pattern(data: np.ndarray) -> Optional[DataPattern]:
-    """Best-effort classification of a row's bytes as a standard pattern."""
-    if data.size == 0:
-        return None
-    values, counts = np.unique(data, return_counts=True)
-    top = int(values[np.argmax(counts)])
-    if counts.max() < 0.9 * data.size:
+    """Best-effort classification of a row's bytes as a standard pattern.
+
+    A row classifies as a pattern iff that pattern's fill byte covers at
+    least 90% of the row -- such a byte is automatically the row's
+    majority byte, so only the known fill bytes need counting.
+    """
+    threshold = 0.9 * data.size
+    if threshold <= 0:
         return None
     for pattern in ALL_PATTERNS:
-        if pattern.byte == top:
+        if int(np.count_nonzero(data == pattern.byte)) >= threshold:
             return pattern
     return None

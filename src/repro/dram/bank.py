@@ -93,6 +93,22 @@ class _PendingClose:
     times: float = 1.0
 
 
+@dataclass
+class RowSnapshot:
+    """Copy-on-write images of a probe's row set (see ``Bank.snapshot_rows``).
+
+    ``rows`` fixes the restore order (the insertion order of the source
+    ``row_data`` dict, matching the order a host ``write_rows`` call would
+    write them); ``versions`` records, per row, the bank data version the
+    image was last materialized at, so an unchanged row costs a dict lookup
+    instead of a row-sized copy on the next restore.
+    """
+
+    rows: tuple[int, ...]
+    images: dict[int, np.ndarray]
+    versions: dict[int, int] = field(default_factory=dict)
+
+
 class Bank:
     """One DRAM bank of a simulated module."""
 
@@ -136,6 +152,10 @@ class Bank:
         #: when True, ACTs skip the per-command ``trr.on_act`` callback;
         #: the caller owes the hook one batched ``on_act_stream`` instead
         self.trr_act_suppressed = False
+        #: capture hook for the batched probe engine: when set, receives
+        #: every charge restoration, CoMRA copy and emitted event in
+        #: application order (see ``repro.core.probe_batch``)
+        self.probe_tap = None
         self.stats = {"acts": 0, "pres": 0, "refs": 0, "comra_copies": 0,
                       "simra_ops": 0, "reads": 0, "writes": 0}
 
@@ -195,6 +215,8 @@ class Bank:
     # Charge restoration: flips materialize, damage clears
     # ------------------------------------------------------------------
     def _restore_row(self, row: int, now_ns: float) -> None:
+        if self.probe_tap is not None:
+            self.probe_tap(("touch", row, now_ns))
         data = self._row_data(row)
         changed = 0
         last = self._last_restore.get(row)
@@ -298,6 +320,8 @@ class Bank:
             dst[:] = src_data
             self._bump_version(row)
             self.stats["comra_copies"] += 1
+            if self.probe_tap is not None:
+                self.probe_tap(("copy", comra_src, row))
 
     def _open_simra(
         self,
@@ -583,6 +607,8 @@ class Bank:
                 t_agg_off_ns=pending.t_agg_off,
             )
         aggressor_pattern = self.pattern_of(event.rows[0])
+        if self.probe_tap is not None:
+            self.probe_tap(("event", event, aggressor_pattern, pending.times))
         self.model.apply_event(
             event,
             temperature_c=self.temperature_c,
@@ -663,3 +689,89 @@ class Bank:
         self.act(row, now_ns)
         self.wr(row, data, now_ns + self.timing.tRCD)
         self.pre(now_ns + self.timing.tRAS)
+
+    # ------------------------------------------------------------------
+    # Copy-on-write row snapshot/restore (batched probe engine)
+    # ------------------------------------------------------------------
+    def snapshot_rows(self, row_data: dict[int, np.ndarray]) -> RowSnapshot:
+        """Capture row images for repeated :meth:`restore_rows` passes."""
+        images = {
+            row: np.resize(
+                np.asarray(data, dtype=np.uint8), self.geometry.row_bytes
+            )
+            for row, data in row_data.items()
+        }
+        return RowSnapshot(rows=tuple(row_data), images=images)
+
+    def restore_rows(self, snapshot: RowSnapshot, base_ns: float) -> float:
+        """Virtually replay nominal-timing writes of the snapshot's rows.
+
+        Observably equivalent to a host ``write_rows`` pass over the same
+        rows starting at ``base_ns`` -- same flush ordering, same emitted
+        per-row write-session events (so victim synergy ordinals advance
+        identically), same ``_last_*`` bookkeeping -- but without command
+        dispatch, and copying a row's bytes only when its data version
+        moved since the image was last written (copy-on-write).  Returns
+        the end-of-pass timestamp (the final PRE), which it also records
+        as ``_last_pre_ns``.
+
+        Two scalar-path details are deliberately *not* replayed because
+        they have no surviving effect: the per-ACT ``_restore_row`` (its
+        decay sees a non-positive elapsed inside a search, and any flips
+        it realizes are overwritten by the WR and cleared by the model
+        restore that follows), and the write session's PRE->ACT gap
+        (single-row plans ignore it).  A row's tAggOff gap at its write
+        ACT is negative whenever the row was closed before (the scalar
+        search rewinds the host clock to zero every probe), so the
+        synthesized event carries a ``-1.0`` sentinel exactly when the
+        row has a recorded close -- both land in the flat region below
+        the model's minimum gap.
+        """
+        timing = self.timing
+        t_rp = timing.tRP
+        t_wr_at = t_rp + timing.tRCD
+        stride = t_rp + timing.tRAS + timing.tWR
+        # the first write ACT always flushes a held-back session before
+        # anything else: its PRE->ACT gap can never classify as CoMRA or
+        # SiMRA (see the scalar write path)
+        self._flush_pending_event(base_ns + t_rp)
+        closed_before = [row in self._last_close for row in snapshot.rows]
+        versions = snapshot.versions
+        images = snapshot.images
+        model = self.model
+        stats = self.stats
+        previous: Optional[tuple[int, float, float, bool]] = None
+        t = base_ns
+        for row, had_close in zip(snapshot.rows, closed_before):
+            if previous is not None:
+                self._emit_virtual_write(*previous)
+            t_open = t + t_rp
+            t_close = t + stride
+            if self._data_version.get(row, 0) != versions.get(row):
+                data = self._row_data(row)
+                data[:] = images[row]
+                self._bump_version(row)
+                versions[row] = self._data_version[row]
+            self._last_restore[row] = t + t_wr_at
+            self._frac.discard(row)
+            model.restore_row(self.index, row)
+            self._last_close[row] = t_close
+            stats["acts"] += 1
+            stats["writes"] += 1
+            stats["pres"] += 1
+            previous = (row, t_open, t_close, had_close)
+            t += stride
+        if previous is not None:
+            self._emit_virtual_write(*previous)
+        end_ns = base_ns + stride * len(snapshot.rows)
+        self._last_pre_ns = end_ns
+        return end_ns
+
+    def _emit_virtual_write(
+        self, row: int, t_open: float, t_close: float, had_close: bool
+    ) -> None:
+        session = _OpenSession(rows=(row,), t_open_ns=t_open, pre_to_act_ns=None)
+        t_agg_off = {row: -1.0} if had_close else {}
+        self._emit_session(
+            _PendingClose(session, t_close, t_agg_off, times=self.event_times)
+        )

@@ -42,13 +42,13 @@ def _run_combined(
             session.combined_victims(), Mechanism.ROWHAMMER
         )[:8]
         session.prefetch_wcdp(victims, Mechanism.ROWHAMMER)
-        for victim in victims:
-            for fraction in FRACTIONS:
-                outcome = session.measure_combined(
-                    victim,
-                    comra_fraction=fraction if comra else 0.0,
-                    simra_fraction=fraction if simra else 0.0,
-                )
+        for fraction in FRACTIONS:
+            outcomes = session.measure_many_combined(
+                victims,
+                comra_fraction=fraction if comra else 0.0,
+                simra_fraction=fraction if simra else 0.0,
+            )
+            for outcome in outcomes:
                 if outcome is None:
                     continue
                 reductions[fraction].append(outcome.reduction)

@@ -43,9 +43,9 @@ def run_fig04(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
         victims = session.candidate_victims()
         session.prefetch_wcdp(victims, Mechanism.ROWHAMMER)
         session.prefetch_wcdp(victims, Mechanism.COMRA)
-        for victim in victims:
-            rh = session.measure_rowhammer_ds(victim)
-            comra = session.measure_comra_ds(victim)
+        rh_many = session.measure_many_rowhammer_ds(victims)
+        comra_many = session.measure_many_comra_ds(victims)
+        for rh, comra in zip(rh_many, comra_many):
             if rh.found:
                 per_vendor_rh[session.module.vendor.value].append(rh.hc_first)
             if comra.found:
@@ -89,9 +89,8 @@ def run_fig05(
     for session in sessions:
         victims = session.candidate_victims()[::2]
         per_pattern: dict[str, list[float]] = defaultdict(list)
-        for victim in victims:
-            for pattern in ALL_PATTERNS:
-                m = session.measure_comra_ds(victim, pattern=pattern)
+        for pattern in ALL_PATTERNS:
+            for m in session.measure_many_comra_ds(victims, pattern=pattern):
                 if m.found:
                     per_pattern[pattern.value].append(m.hc_first)
         vendor = session.module.vendor.value
@@ -136,8 +135,7 @@ def run_fig06(
         for temperature in temperatures:
             session.set_temperature(temperature)
             values = []
-            for victim in victims:
-                m = session.measure_comra_ds(victim)
+            for m in session.measure_many_comra_ds(victims):
                 if m.found:
                     values.append(m.hc_first)
             if values:
@@ -184,17 +182,13 @@ def run_fig07(
         ][::2]
         buckets: dict[str, list[float]] = {"ss-comra": [], "ss-rowhammer": [],
                                            "far-ds-rowhammer": []}
-        for aggressor in aggressors:
-            far = aggressor + 40
-            buckets["ss-comra"].extend(
-                found_values(session.measure_comra_ss(aggressor, far))
-            )
-            buckets["ss-rowhammer"].extend(
-                found_values(session.measure_rowhammer_ss(aggressor))
-            )
-            buckets["far-ds-rowhammer"].extend(
-                found_values(session.measure_far_ds_rowhammer(aggressor, far))
-            )
+        far_pairs = [(aggressor, aggressor + 40) for aggressor in aggressors]
+        for group in session.measure_many_comra_ss(far_pairs):
+            buckets["ss-comra"].extend(found_values(group))
+        for group in session.measure_many_rowhammer_ss(aggressors):
+            buckets["ss-rowhammer"].extend(found_values(group))
+        for group in session.measure_many_far_ds_rowhammer(far_pairs):
+            buckets["far-ds-rowhammer"].extend(found_values(group))
         summaries = {}
         for technique, values in buckets.items():
             if not values:
@@ -240,14 +234,12 @@ def run_fig08(
         victims = session.candidate_victims()[::3]
         means: dict[tuple[str, float], float] = {}
         for t_agg_on in t_agg_on_values:
-            comra_values, press_values = [], []
-            for victim in victims:
-                comra = session.measure_comra_ds(victim, t_agg_on_ns=t_agg_on)
-                press = session.measure_rowhammer_ds(victim, t_agg_on_ns=t_agg_on)
-                if comra.found:
-                    comra_values.append(comra.hc_first)
-                if press.found:
-                    press_values.append(press.hc_first)
+            comra_values = found_values(
+                session.measure_many_comra_ds(victims, t_agg_on_ns=t_agg_on)
+            )
+            press_values = found_values(
+                session.measure_many_rowhammer_ds(victims, t_agg_on_ns=t_agg_on)
+            )
             for technique, values in (("comra", comra_values),
                                       ("rowpress", press_values)):
                 if not values:
@@ -297,11 +289,9 @@ def run_fig09(
         victims = session.candidate_victims()[::2]
         means = {}
         for delay in delays:
-            values = []
-            for victim in victims:
-                m = session.measure_comra_ds(victim, pre_to_act_ns=delay)
-                if m.found:
-                    values.append(m.hc_first)
+            values = found_values(
+                session.measure_many_comra_ds(victims, pre_to_act_ns=delay)
+            )
             if values:
                 summary = DistributionSummary.from_values(values)
                 means[delay] = summary.mean
@@ -332,24 +322,31 @@ def run_fig10(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     ss_changes: list[float] = []
     for session in sessions:
         geometry = session.module.geometry
-        for victim in session.candidate_victims()[::2]:
-            forward = session.measure_comra_ds(victim)
-            backward = session.measure_comra_ds(victim, reverse=True)
+        victims = session.candidate_victims()[::2]
+        forward_many = session.measure_many_comra_ds(victims)
+        backward_many = session.measure_many_comra_ds(victims, reverse=True)
+        for forward, backward in zip(forward_many, backward_many):
             if forward.found and backward.found:
                 ds_changes.append(
                     100.0 * (backward.hc_first - forward.hc_first) / forward.hc_first
                 )
-            far = victim + 40
-            if far < geometry.rows_per_bank and geometry.same_subarray(victim, far):
-                shared = list(geometry.neighbors(victim, 1))
-                f = found_values(
-                    session.measure_comra_ss(victim, far, victims=shared)
-                )
-                b = found_values(
-                    session.measure_comra_ss(far, victim, victims=shared)
-                )
-                if f and b:
-                    ss_changes.append(100.0 * (b[0] - f[0]) / f[0])
+        eligible = [
+            victim for victim in victims
+            if victim + 40 < geometry.rows_per_bank
+            and geometry.same_subarray(victim, victim + 40)
+        ]
+        shared = [list(geometry.neighbors(victim, 1)) for victim in eligible]
+        forward_ss = session.measure_many_comra_ss(
+            [(victim, victim + 40) for victim in eligible], victims=shared
+        )
+        backward_ss = session.measure_many_comra_ss(
+            [(victim + 40, victim) for victim in eligible], victims=shared
+        )
+        for f_group, b_group in zip(forward_ss, backward_ss):
+            f = found_values(f_group)
+            b = found_values(b_group)
+            if f and b:
+                ss_changes.append(100.0 * (b[0] - f[0]) / f[0])
     for sided, changes in (("double", ds_changes), ("single", ss_changes)):
         if not changes:
             continue
@@ -390,8 +387,7 @@ def run_fig11(
         by_region: dict[str, list[float]] = defaultdict(list)
         victims = session.candidate_victims()
         session.prefetch_wcdp(victims, Mechanism.COMRA)
-        for victim in victims:
-            m = session.measure_comra_ds(victim)
+        for m in session.measure_many_comra_ds(victims):
             if m.found:
                 by_region[m.region.value].append(m.hc_first)
         means = {}

@@ -38,22 +38,27 @@ def run_fig13(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
             sandwiched = [v for pair in pairs for v in pair.sandwiched_victims()]
             session.prefetch_wcdp(sandwiched, Mechanism.SIMRA)
             session.prefetch_wcdp(sandwiched, Mechanism.ROWHAMMER)
-            for pair in pairs:
-                for m in session.measure_simra_ds(pair, max_victims=2):
-                    if not m.found:
-                        continue
-                    rh = session.measure_rowhammer_ds(m.victim)
-                    if rh.found:
-                        per_count_changes[count].append((rh.hc_first, m.hc_first))
-                        lowest_rh = (
-                            rh.hc_first
-                            if lowest_rh is None
-                            else min(lowest_rh, rh.hc_first)
-                        )
-                    low = per_count_lowest.get(count)
-                    per_count_lowest[count] = (
-                        m.hc_first if low is None else min(low, m.hc_first)
+            found_ms = [
+                m
+                for group in session.measure_many_simra_ds(pairs, max_victims=2)
+                for m in group
+                if m.found
+            ]
+            rh_many = session.measure_many_rowhammer_ds(
+                [m.victim for m in found_ms]
+            )
+            for m, rh in zip(found_ms, rh_many):
+                if rh.found:
+                    per_count_changes[count].append((rh.hc_first, m.hc_first))
+                    lowest_rh = (
+                        rh.hc_first
+                        if lowest_rh is None
+                        else min(lowest_rh, rh.hc_first)
                     )
+                low = per_count_lowest.get(count)
+                per_count_lowest[count] = (
+                    m.hc_first if low is None else min(low, m.hc_first)
+                )
 
     overall_lowest = min(per_count_lowest.values()) if per_count_lowest else None
     for count in DS_COUNTS:
@@ -92,12 +97,12 @@ def run_fig14(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     for count in DS_COUNTS:
         per_pattern: dict[str, list[float]] = defaultdict(list)
         for session in sessions:
-            pairs = session.sample_simra_pairs(count, include_sentinel=False)
-            for pair in pairs[:3]:
-                for pattern in ALL_PATTERNS:
-                    for m in session.measure_simra_ds(
-                        pair, pattern=pattern, max_victims=1
-                    ):
+            pairs = session.sample_simra_pairs(count, include_sentinel=False)[:3]
+            for pattern in ALL_PATTERNS:
+                for group in session.measure_many_simra_ds(
+                    pairs, pattern=pattern, max_victims=1
+                ):
+                    for m in group:
                         if m.found:
                             per_pattern[pattern.value].append(m.hc_first)
         means = {}
@@ -137,10 +142,10 @@ def run_fig15(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
             for session in sessions:
                 session.set_temperature(temperature)
                 pairs = session.sample_simra_pairs(count, include_sentinel=False)
-                for pair in pairs[:3]:
-                    values.extend(
-                        found_values(session.measure_simra_ds(pair, max_victims=1))
-                    )
+                for group in session.measure_many_simra_ds(
+                    pairs[:3], max_victims=1
+                ):
+                    values.extend(found_values(group))
             if values:
                 summary = DistributionSummary.from_values(values)
                 means[temperature] = summary.mean
@@ -177,26 +182,31 @@ def run_fig16(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     per_count: dict[int, list[float]] = {count: [] for count in SS_COUNTS}
     rh_values: list[float] = []
     for session in sessions:
-        bases = session.simra_blocks()
-        for base in bases[: max(4, session.scale.simra_groups)]:
-            edge = base - 1
-            geometry = session.module.geometry
-            if edge < 0 or not geometry.same_subarray(edge, base):
-                continue
-            for count in SS_COUNTS:
+        geometry = session.module.geometry
+        bases = [
+            base
+            for base in session.simra_blocks()[: max(4, session.scale.simra_groups)]
+            if base - 1 >= 0 and geometry.same_subarray(base - 1, base)
+        ]
+        for count in SS_COUNTS:
+            edges, pairs = [], []
+            for base in bases:
                 try:
                     pair = patterns.simra_pair_for(
                         session.module, base, count, "single-sided"
                     )
                 except AddressError:
                     continue
-                for m in session.measure_simra_ss(pair):
-                    if m.found and m.victim == edge:
-                        per_count[count].append(m.hc_first)
-            rh_measurements = session.measure_rowhammer_ss(base)
+                edges.append(base - 1)
+                pairs.append(pair)
+            for edge, group in zip(edges, session.measure_many_simra_ss(pairs)):
+                per_count[count].extend(
+                    m.hc_first for m in group if m.found and m.victim == edge
+                )
+        for base, group in zip(bases, session.measure_many_rowhammer_ss(bases)):
             rh_values.extend(
-                m.hc_first for m in rh_measurements
-                if m.found and m.victim == edge
+                m.hc_first for m in group
+                if m.found and m.victim == base - 1
             )
 
     means: dict[int, float] = {}
@@ -254,14 +264,10 @@ def run_fig17(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
             values: list[float] = []
             for session in sessions:
                 pairs = session.sample_simra_pairs(count, include_sentinel=False)
-                for pair in pairs[:3]:
-                    values.extend(
-                        found_values(
-                            session.measure_simra_ds(
-                                pair, t_agg_on_ns=t_agg_on, max_victims=1
-                            )
-                        )
-                    )
+                for group in session.measure_many_simra_ds(
+                    pairs[:3], t_agg_on_ns=t_agg_on, max_victims=1
+                ):
+                    values.extend(found_values(group))
             if values:
                 summary = DistributionSummary.from_values(values)
                 means[t_agg_on] = summary.mean
@@ -296,17 +302,13 @@ def run_fig18(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
             values: list[float] = []
             for session in sessions:
                 pairs = session.sample_simra_pairs(count, include_sentinel=False)
-                for pair in pairs[:6]:
-                    values.extend(
-                        found_values(
-                            session.measure_simra_ds(
-                                pair,
-                                act_to_pre_ns=act_to_pre,
-                                pre_to_act_ns=pre_to_act,
-                                max_victims=2,
-                            )
-                        )
-                    )
+                for group in session.measure_many_simra_ds(
+                    pairs[:6],
+                    act_to_pre_ns=act_to_pre,
+                    pre_to_act_ns=pre_to_act,
+                    max_victims=2,
+                ):
+                    values.extend(found_values(group))
             if values:
                 summary = DistributionSummary.from_values(values)
                 means[(act_to_pre, pre_to_act)] = summary.mean
@@ -344,8 +346,9 @@ def run_fig19(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
     for count in DS_COUNTS:
         by_region: dict[str, list[float]] = defaultdict(list)
         for session in sessions:
-            for pair in session.sample_simra_pairs(count):
-                for m in session.measure_simra_ds(pair, max_victims=2):
+            pairs = session.sample_simra_pairs(count)
+            for group in session.measure_many_simra_ds(pairs, max_victims=2):
+                for m in group:
                     if m.found:
                         by_region[m.region.value].append(m.hc_first)
         means = {}

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..bender.host import DramBenderHost
 from ..core import patterns
+from ..core.probe_batch import count_flips
 from ..core.scale import ExperimentScale
 from ..disturbance.calibration import DataPattern, Mechanism
 from ..dram.module import DramModule
@@ -40,9 +41,7 @@ def _count_flips(
     flips = 0
     read = host.read_rows(bank, [module.to_logical(v) for v in victims])
     for data in read.values():
-        flips += int(
-            (np.unpackbits(data) != np.unpackbits(expected)).sum()
-        )
+        flips += count_flips(data, expected)
     return flips
 
 

@@ -214,3 +214,61 @@ def test_shard_filter_with_no_match_is_an_error(tmp_path):
                             scale=SMOKE, shard_filter=("no-such-config",))
     with pytest.raises(ValueError):
         runner.run(["attack_surface"])
+
+
+def test_pending_tasks_submitted_longest_first(tmp_path):
+    """Satellite: prior-run elapsed drives submission order, newest wins."""
+    from repro.campaign.shards import Task
+
+    store = ArtifactStore(tmp_path / "store")
+
+    def write_manifest(run_id, created_at, tasks):
+        run_dir = store.runs_dir / run_id
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text(
+            json.dumps({"run_id": run_id, "created_at": created_at,
+                        "tasks": tasks})
+        )
+
+    write_manifest("20250101T000000-old", 1.0, [
+        {"experiment_id": "fig13", "shard": None,
+         "status": "executed", "elapsed": 99.0},
+        {"experiment_id": "fig05", "shard": "hynix-a-8gb",
+         "status": "executed", "elapsed": 5.0},
+    ])
+    write_manifest("20250102T000000-new", 2.0, [
+        # newest manifest overrides the stale 99s figure for fig13
+        {"experiment_id": "fig13", "shard": None,
+         "status": "executed", "elapsed": 1.0},
+        {"experiment_id": "fig21", "shard": None,
+         "status": "cached", "elapsed": 7.0},
+        # failed tasks report partial timings -- never schedule off them
+        {"experiment_id": "fig22", "shard": None,
+         "status": "failed", "elapsed": 50.0},
+    ])
+    corrupt = store.runs_dir / "corrupt"
+    corrupt.mkdir()
+    (corrupt / "manifest.json").write_text("{not json")
+
+    runner = CampaignRunner(store=store, scale=SMALL)
+    pending = [
+        Task("table1"),
+        Task("fig13"),
+        Task("fig05", shard="hynix-a-8gb"),
+        Task("fig21"),
+        Task("fig22"),
+    ]
+    ordered = runner._order_longest_first(list(pending))
+    # known history descending (7s > 5s > 1s); table1 (no history) and
+    # fig22 (failed-only history) keep declared order at the end
+    assert [t.label for t in ordered] == [
+        "fig21", "fig05[hynix-a-8gb]", "fig13", "table1", "fig22",
+    ]
+
+
+def test_ordering_without_history_keeps_declared_order(tmp_path):
+    from repro.campaign.shards import Task
+
+    runner = CampaignRunner(store=ArtifactStore(tmp_path / "store"), scale=SMALL)
+    pending = [Task("fig21"), Task("table1"), Task("fig13")]
+    assert runner._order_longest_first(list(pending)) == pending

@@ -1,0 +1,140 @@
+"""Batched probe engine: planner invariants and scalar equivalence.
+
+The tentpole guarantee: every ``measure_many_*`` returns Measurement lists
+identical to the scalar per-victim loop -- the batched engine is purely an
+execution strategy, never a semantic change.  ``batch_probes=False`` forces
+the reference scalar path on an otherwise identical fresh module, so any
+divergence (state bleed across victims, rng-order coupling, snapshot
+restore gaps) shows up as a field-level mismatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ExperimentScale, make_module
+from repro.core import CharacterizationSession
+from repro.core.probe_batch import (
+    GUARD_DISTANCE,
+    blast_rows,
+    count_flips,
+    plan_batches,
+    plan_components,
+)
+
+CONFIGS = ("hynix-a-8gb", "samsung-b-16gb")
+MODES = ("oracle", "measured")
+
+
+def _sessions(config_id, wcdp_mode):
+    scale = ExperimentScale.small().with_overrides(wcdp_mode=wcdp_mode)
+    batched = CharacterizationSession(make_module(config_id), scale)
+    scalar = CharacterizationSession(make_module(config_id), scale)
+    scalar.batch_probes = False
+    return batched, scalar
+
+
+def _assert_identical(many, ref):
+    assert len(many) == len(ref)
+    for a, b in zip(many, ref):
+        assert a == b
+        # params is compare=False on the frozen dataclass; check it too
+        assert a.params == b.params
+
+
+class TestPlanner:
+    def test_blast_rows_widens_by_guard(self):
+        assert blast_rows([10]) == frozenset(range(10 - GUARD_DISTANCE,
+                                                   10 + GUARD_DISTANCE + 1))
+
+    def test_disjoint_victims_share_a_batch(self):
+        blasts = [blast_rows([100]), blast_rows([200]), blast_rows([300])]
+        assert plan_components(blasts) == [[0], [1], [2]]
+        assert plan_batches(blasts) == [[0, 1, 2]]
+
+    def test_adjacent_victims_land_in_different_batches(self):
+        victims = [100, 101, 102, 200]
+        blasts = [blast_rows([v]) for v in victims]
+        # 100/101/102 overlap transitively -> one sequential component
+        assert plan_components(blasts) == [[0, 1, 2], [3]]
+        batches = plan_batches(blasts)
+        assert batches == [[0, 3], [1], [2]]
+        for batch in batches:
+            rows = [victims[i] for i in batch]
+            for i, a in enumerate(rows):
+                for b in rows[i + 1:]:
+                    assert abs(a - b) > 2 * GUARD_DISTANCE
+
+    def test_chained_units_run_sequentially(self):
+        blasts = [blast_rows([100]), blast_rows([200]), blast_rows([300])]
+        assert plan_batches(blasts, chained=(0, 2)) == [[0, 1], [2]]
+
+    def test_component_preserves_declared_order(self):
+        blasts = [blast_rows([102]), blast_rows([100]), blast_rows([101])]
+        assert plan_components(blasts) == [[0, 1, 2]]
+
+
+class TestCountFlips:
+    def test_counts_bit_differences(self):
+        data = np.zeros(8, dtype=np.uint8)
+        expected = data.copy()
+        assert count_flips(data, expected) == 0
+        data[0] = 0b1010_0001
+        assert count_flips(data, expected) == 3
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("wcdp_mode", MODES)
+    @pytest.mark.parametrize("config_id", CONFIGS)
+    def test_rowhammer(self, config_id, wcdp_mode):
+        batched, scalar = _sessions(config_id, wcdp_mode)
+        victims = batched.candidate_victims()[:4]
+        many = batched.measure_many_rowhammer_ds(victims)
+        ref = [scalar.measure_rowhammer_ds(v) for v in victims]
+        _assert_identical(many, ref)
+
+    @pytest.mark.parametrize("wcdp_mode", MODES)
+    @pytest.mark.parametrize("config_id", CONFIGS)
+    def test_comra(self, config_id, wcdp_mode):
+        batched, scalar = _sessions(config_id, wcdp_mode)
+        victims = batched.candidate_victims()[:4]
+        many = batched.measure_many_comra_ds(victims)
+        ref = [scalar.measure_comra_ds(v) for v in victims]
+        _assert_identical(many, ref)
+
+    @pytest.mark.parametrize("wcdp_mode", MODES)
+    @pytest.mark.parametrize("config_id", CONFIGS)
+    def test_simra(self, config_id, wcdp_mode):
+        batched, scalar = _sessions(config_id, wcdp_mode)
+        pairs = batched.sample_simra_pairs(2)[:3]
+        if config_id == "hynix-a-8gb":
+            assert pairs  # SiMRA-capable: the test must not be vacuous
+        many = batched.measure_many_simra_ds(pairs, max_victims=2)
+        ref = [scalar.measure_simra_ds(p, max_victims=2) for p in pairs]
+        assert len(many) == len(ref)
+        for group_a, group_b in zip(many, ref):
+            _assert_identical(group_a, group_b)
+
+    @pytest.mark.parametrize("wcdp_mode", MODES)
+    @pytest.mark.parametrize("config_id", CONFIGS)
+    def test_combined(self, config_id, wcdp_mode):
+        batched, scalar = _sessions(config_id, wcdp_mode)
+        victims = batched.combined_victims()[:3]
+        many = batched.measure_many_combined(
+            victims, comra_fraction=0.5, simra_fraction=0.5
+        )
+        ref = [
+            scalar.measure_combined(v, comra_fraction=0.5, simra_fraction=0.5)
+            for v in victims
+        ]
+        assert many == ref
+
+    def test_single_victim_many_equals_scalar(self, hynix_session):
+        victim = hynix_session.candidate_victims()[2]
+        many = hynix_session.measure_many_rowhammer_ds([victim])
+        scalar = hynix_session.measure_rowhammer_ds(victim)
+        _assert_identical(many, [scalar])
+
+    def test_many_preserves_input_order(self, hynix_session):
+        victims = hynix_session.candidate_victims()[:4]
+        many = hynix_session.measure_many_rowhammer_ds(victims)
+        assert [m.victim for m in many] == victims

@@ -55,6 +55,24 @@ class TestMeasurements:
         m_measured = session.measure_rowhammer_ds(victim, pattern=measured)
         assert m_measured.hc_first <= m_oracle.hc_first * 1.02
 
+    def test_wcdp_oracle_result_is_cached(self, hynix_session, monkeypatch):
+        # regression: the oracle path used to recompute worst_case_pattern
+        # on every call because the miss branch never filled _wcdp_cache
+        model = hynix_session.module.model
+        calls = []
+        real = model.worst_case_pattern
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(model, "worst_case_pattern", counting)
+        victim = hynix_session.candidate_victims()[2]
+        first = hynix_session.wcdp(victim, Mechanism.ROWHAMMER)
+        second = hynix_session.wcdp(victim, Mechanism.ROWHAMMER)
+        assert first == second
+        assert len(calls) == 1
+
     def test_simra_group_sampling_deterministic(self, hynix_session):
         a = [p.group for p in hynix_session.sample_simra_pairs(4)]
         b = [p.group for p in hynix_session.sample_simra_pairs(4)]
