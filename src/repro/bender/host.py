@@ -55,6 +55,21 @@ from .program import Act, Instruction, Loop, Nop, Pre, Rd, Ref, TestProgram, Wr
 _NO_STREAM = object()
 
 
+def write_stride_ns(timing) -> float:
+    """Clock advance of one nominal-timing row write (see ``write_rows``).
+
+    Single source of truth for the host's write cadence: the batched
+    probe engine replays captured write prologues in closed form using
+    this stride, and the two must agree bit for bit.
+    """
+    return timing.tRP + timing.tRAS + timing.tWR
+
+
+def write_data_at_ns(timing) -> float:
+    """Offset of the WR (data landing) within one ``write_rows`` stride."""
+    return timing.tRP + timing.tRCD
+
+
 @dataclass
 class ReadRecord:
     """One RD command's returned data."""
@@ -351,7 +366,15 @@ class DramBenderHost:
     # Convenience operations (nominal-timing row IO in logical space)
     # ------------------------------------------------------------------
     def write_rows(self, bank: int, rows: dict[int, np.ndarray]) -> None:
-        """Initialize rows with data at nominal timing."""
+        """Initialize rows with data at nominal timing.
+
+        Per-row cadence: ACT at ``+tRP``, WR at ``+tRCD`` after the ACT,
+        PRE closing the row ``tRAS + tWR`` after the bank opened -- i.e.
+        each row advances the clock by :func:`write_stride_ns` and lands
+        its data :func:`write_data_at_ns` after the row's start.  The
+        batched probe engine replays this cadence in closed form; keep
+        the two definitions in sync.
+        """
         timing = self.module.timing
         for logical_row, data in rows.items():
             self.now_ns += timing.tRP

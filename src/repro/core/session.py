@@ -83,6 +83,12 @@ class CharacterizationSession:
     #: used by the equivalence suite and for debugging)
     batch_probes: bool = True
 
+    #: set to a dict to accumulate the batched engine's per-stage wall
+    #: times across ``measure_many_*`` calls (see
+    #: :func:`repro.core.probe_batch.run_batched_searches`); None skips
+    #: the instrumentation
+    probe_stage_s: Optional[dict] = None
+
     def __init__(
         self,
         module: DramModule,
@@ -334,6 +340,7 @@ class CharacterizationSession:
                 setups,
                 repeats=self.scale.repeats,
                 max_hammers=self.scale.max_hammers,
+                stage_s=self.probe_stage_s,
             )
         else:
             outcomes = [

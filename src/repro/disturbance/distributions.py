@@ -65,16 +65,26 @@ def normal_ppf(q: float) -> float:
 # ----------------------------------------------------------------------
 # Deterministic seeding
 # ----------------------------------------------------------------------
+#: memoized ``stable_seed`` results -- the function is pure, the key space
+#: is small (per-row caches re-derive the same keys on every fresh module
+#: of the same config), and the repr+BLAKE2 walk costs more than a dict hit
+_seed_cache: dict = {}
+
+
 def stable_seed(*keys: object) -> int:
     """Derive a 64-bit seed from arbitrary keys, stable across processes.
 
     Python's built-in ``hash`` is salted per process, so we hash the repr of
     the keys with BLAKE2 instead.
     """
-    digest = hashlib.blake2b(
-        "\x1f".join(repr(k) for k in keys).encode(), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "little")
+    seed = _seed_cache.get(keys)
+    if seed is None:
+        digest = hashlib.blake2b(
+            "\x1f".join(repr(k) for k in keys).encode(), digest_size=8
+        ).digest()
+        seed = int.from_bytes(digest, "little")
+        _seed_cache[keys] = seed
+    return seed
 
 
 def rng_for(*keys: object) -> np.random.Generator:

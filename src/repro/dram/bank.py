@@ -101,12 +101,16 @@ class RowSnapshot:
     ``row_data`` dict, matching the order a host ``write_rows`` call would
     write them); ``versions`` records, per row, the bank data version the
     image was last materialized at, so an unchanged row costs a dict lookup
-    instead of a row-sized copy on the next restore.
+    instead of a row-sized copy on the next restore.  ``slots`` pins each
+    row's damage-ledger slot in ``rows`` order, so restore passes reset
+    fault-model state by direct ledger assignment instead of per-row
+    key lookups.
     """
 
     rows: tuple[int, ...]
     images: dict[int, np.ndarray]
     versions: dict[int, int] = field(default_factory=dict)
+    slots: tuple[int, ...] = ()
 
 
 class Bank:
@@ -701,7 +705,9 @@ class Bank:
             )
             for row, data in row_data.items()
         }
-        return RowSnapshot(rows=tuple(row_data), images=images)
+        ledger = self.model.ledger
+        slots = tuple(ledger.slot(self.index, row) for row in row_data)
+        return RowSnapshot(rows=tuple(row_data), images=images, slots=slots)
 
     def restore_rows(self, snapshot: RowSnapshot, base_ns: float) -> float:
         """Virtually replay nominal-timing writes of the snapshot's rows.
@@ -738,11 +744,18 @@ class Bank:
         closed_before = [row in self._last_close for row in snapshot.rows]
         versions = snapshot.versions
         images = snapshot.images
-        model = self.model
+        ledger = self.model.ledger
+        slots = snapshot.slots
+        if len(slots) != len(snapshot.rows):
+            # snapshot predates slot pinning (hand-built in tests)
+            slots = tuple(
+                ledger.slot(self.index, row) for row in snapshot.rows
+            )
+            snapshot.slots = slots
         stats = self.stats
         previous: Optional[tuple[int, float, float, bool]] = None
         t = base_ns
-        for row, had_close in zip(snapshot.rows, closed_before):
+        for row, slot, had_close in zip(snapshot.rows, slots, closed_before):
             if previous is not None:
                 self._emit_virtual_write(*previous)
             t_open = t + t_rp
@@ -754,7 +767,7 @@ class Bank:
                 versions[row] = self._data_version[row]
             self._last_restore[row] = t + t_wr_at
             self._frac.discard(row)
-            model.restore_row(self.index, row)
+            ledger.restore(slot)
             self._last_close[row] = t_close
             stats["acts"] += 1
             stats["writes"] += 1

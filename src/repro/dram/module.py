@@ -97,6 +97,17 @@ class DramModule:
             raise AddressError(f"bank {index} out of range")
         return self.banks[index]
 
+    @property
+    def ledger(self):
+        """The fault model's damage ledger (module-wide, slot-addressed).
+
+        All banks of a module share one
+        :class:`~repro.disturbance.ledger.DamageLedger`; tests and
+        benchmarks reach it here instead of chaining through
+        ``module.model.ledger``.
+        """
+        return self.model.ledger
+
     # ------------------------------------------------------------------
     # Environment
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 from .errors import AddressError
 
@@ -138,13 +139,15 @@ class ModuleGeometry:
         start = subarray * self.rows_per_subarray
         return range(start, start + self.rows_per_subarray)
 
+    @lru_cache(maxsize=None)
     def neighbors(self, row: int, distance: int = 1) -> tuple[int, ...]:
         """Physically adjacent rows at ``distance`` within the same subarray.
 
         Read disturbance does not cross subarray boundaries in this model:
         the sense-amplifier stripes between subarrays isolate wordline
         coupling, consistent with the paper testing victims within the
-        aggressors' subarray.
+        aggressors' subarray.  Memoized: plan materialization asks for the
+        same (row, distance) pairs on every translated probe.
         """
         self.check_row(row)
         result = []
