@@ -14,6 +14,8 @@ Subcommands:
 * ``reliability``               -- run PuD application kernels under the
   corruption oracle and the integrity-defense matrix (through the
   campaign store, resumable)
+* ``trace [run_id]``            -- render one campaign run's manifest,
+  event log and metrics snapshot (default: the most recent run)
 """
 
 from __future__ import annotations
@@ -175,6 +177,30 @@ def _run_reliability(parser: argparse.ArgumentParser, args) -> int:
     return 1 if summary.failures else 0
 
 
+def _run_trace(parser: argparse.ArgumentParser, args) -> int:
+    from .obs.trace import list_runs, load_run, render_run, resolve_run
+
+    store = ArtifactStore(args.output)
+    if args.list_runs:
+        for run_dir in list_runs(store.runs_dir):
+            print(run_dir.name)
+        return 0
+    try:
+        run_dir = resolve_run(store.runs_dir, args.run_id)
+    except FileNotFoundError as error:
+        parser.error(str(error))
+    run = load_run(run_dir)
+    if args.as_json:
+        payload = dict(run)
+        payload["events"] = [
+            json.loads(event.to_json()) for event in run["events"]
+        ]
+        print(json.dumps(payload, indent=1))
+    else:
+        print(render_run(run))
+    return 0
+
+
 def _experiment_description(runner) -> str:
     """First line of the runner's docstring, the one-line description."""
     doc = (runner.__doc__ or "").strip()
@@ -274,6 +300,27 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress progress events"
     )
 
+    trace_parser = subcommands.add_parser(
+        "trace",
+        help="render one campaign run's manifest, events and metrics",
+    )
+    trace_parser.add_argument(
+        "run_id", nargs="?", default=None,
+        help="run to render (default: the most recent run)",
+    )
+    trace_parser.add_argument(
+        "--output", metavar="DIR", default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    trace_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw manifest/events/obs payload as JSON",
+    )
+    trace_parser.add_argument(
+        "--list", action="store_true", dest="list_runs",
+        help="list known run ids (oldest first) and exit",
+    )
+
     args = parser.parse_args(argv)
     if args.command in ("campaign", "report"):
         unknown = [i for i in args.experiment_ids or [] if i not in EXPERIMENTS]
@@ -322,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"artifacts: {runner.store.root}")
         print(f"manifest:  {summary.manifest_path}")
         print(f"events:    {summary.events_path}")
+        print(f"obs:       {summary.obs_path}")
         for experiment_id, error in summary.failures.items():
             print(f"FAILED {experiment_id}: {error}", file=sys.stderr)
         return 1 if summary.failures else 0
@@ -329,6 +377,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_attack(parser, args)
     if args.command == "reliability":
         return _run_reliability(parser, args)
+    if args.command == "trace":
+        return _run_trace(parser, args)
     if args.command == "report":
         report = generate_report(
             scale=_SCALES[args.scale](),

@@ -42,6 +42,7 @@ from typing import Optional
 import numpy as np
 
 from ..dram.module import DramModule
+from ..obs import NULL_OBS
 from .compiler import (
     ChunkStep,
     CompiledStream,
@@ -132,6 +133,7 @@ class DramBenderHost:
         scale_loops: bool = True,
         enforce_refresh_window: bool = False,
         compile_streams: Optional[bool] = None,
+        obs=None,
     ) -> None:
         self.module = module
         self.scale_loops = scale_loops
@@ -141,6 +143,11 @@ class DramBenderHost:
             if compile_streams is None
             else compile_streams
         )
+        #: metrics registry counting which execution path each loop/chunk
+        #: took (``host.loops{path=...}`` / ``host.chunks{path=...}``);
+        #: recorded per loop, never per command, so the disabled default
+        #: costs one no-op call per loop
+        self.obs = obs if obs is not None else NULL_OBS
         self.now_ns = 0.0
         # Plans are keyed by program identity (programs are mutable, so
         # content hashing is off the table); the program reference is kept
@@ -207,8 +214,10 @@ class DramBenderHost:
         trr = bank.trr
         if trr is not None and not hasattr(trr, "on_act_stream"):
             # hook needs per-command visibility (e.g. PRAC back-off)
+            self.obs.inc("host.chunks", path="unrolled")
             self._execute(step.instructions, result)
             return
+        self.obs.inc("host.chunks", path="stream")
         self._run_stream(bank, stream, step.count)
 
     def _run_stream(self, bank, stream: CompiledStream, count: int) -> None:
@@ -278,6 +287,7 @@ class DramBenderHost:
         if loop.count == 0:
             return
         if self._can_scale(loop):
+            self.obs.inc("host.loops", path="scaled")
             # Warm-up pass establishes steady-state interleaving (synergy
             # windows, tAggOff gaps), then one pass carries the remaining
             # iterations' damage at once.
@@ -313,8 +323,10 @@ class DramBenderHost:
                 bank = self.module.bank(stream.bank)
                 trr = bank.trr
                 if trr is None or hasattr(trr, "on_act_stream"):
+                    self.obs.inc("host.loops", path="stream")
                     self._run_stream(bank, stream, loop.count)
                     return
+        self.obs.inc("host.loops", path="unrolled")
         for _ in range(loop.count):
             self._execute(loop.body, result)
 

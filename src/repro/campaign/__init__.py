@@ -22,8 +22,10 @@ from .events import (
     CACHE_HIT,
     CAMPAIGN_FINISHED,
     CAMPAIGN_STARTED,
+    POOL_RESTART,
     TASK_FAILED,
     TASK_FINISHED,
+    TASK_REQUEUED,
     TASK_STARTED,
     WORKER_CRASHED,
     CampaignEvent,
@@ -65,9 +67,11 @@ __all__ = [
     "EXPERIMENT_SUBSYSTEM_DEPS",
     "EventLog",
     "GRANULARITIES",
+    "POOL_RESTART",
     "SESSION_SHARDED",
     "TASK_FAILED",
     "TASK_FINISHED",
+    "TASK_REQUEUED",
     "TASK_STARTED",
     "Task",
     "TaskOutcome",

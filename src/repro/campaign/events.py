@@ -16,6 +16,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import IO, Iterator, Optional
 
+from ..obs import NULL_OBS
+
 # event kinds, in rough lifecycle order
 CAMPAIGN_STARTED = "campaign_started"
 TASK_STARTED = "task_started"
@@ -23,6 +25,8 @@ TASK_FINISHED = "task_finished"
 TASK_FAILED = "task_failed"
 CACHE_HIT = "cache_hit"
 WORKER_CRASHED = "worker_crashed"
+TASK_REQUEUED = "task_requeued"
+POOL_RESTART = "pool_restart"
 CAMPAIGN_FINISHED = "campaign_finished"
 
 
@@ -84,7 +88,20 @@ def render_event(event: CampaignEvent) -> Optional[str]:
     if event.event == TASK_FAILED:
         return f"{event.label} FAILED: {event.error}"
     if event.event == WORKER_CRASHED:
-        return f"worker pool crashed ({event.error}); retrying remaining tasks"
+        where = f" while running {event.label}" if event.label else ""
+        return f"worker pool crashed{where} ({event.error})"
+    if event.event == TASK_REQUEUED:
+        attempt = (event.detail or {}).get("restart", "?")
+        return f"{event.label} requeued after pool crash (restart #{attempt})"
+    if event.event == POOL_RESTART:
+        detail = event.detail or {}
+        mode = detail.get("mode", "pool")
+        action = ("falling back to serial execution" if mode == "serial"
+                  else "restarting worker pool")
+        return (
+            f"{action} (#{detail.get('restart', '?')}), "
+            f"{detail.get('remaining', '?')} task(s) requeued"
+        )
     if event.event == CAMPAIGN_FINISHED:
         detail = event.detail or {}
         return (
@@ -100,18 +117,24 @@ class EventLog:
     """Append-only JSONL event sink, optionally mirrored to a stream.
 
     ``path=None`` keeps the log in memory only (used by one-off report
-    generation when no campaign directory is wanted).
+    generation when no campaign directory is wanted).  When an ``obs``
+    registry is attached, every emitted event also bumps the
+    ``campaign.events`` counter labeled by kind, so the run's metrics
+    snapshot and its event log can be cross-checked against each other.
     """
 
-    def __init__(self, path: Optional[Path] = None, stream: Optional[IO] = None):
+    def __init__(self, path: Optional[Path] = None, stream: Optional[IO] = None,
+                 obs=None):
         self.path = Path(path) if path is not None else None
         self.stream = stream
+        self.obs = obs if obs is not None else NULL_OBS
         self.events: list[CampaignEvent] = []
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
 
     def emit(self, event: CampaignEvent) -> CampaignEvent:
         self.events.append(event)
+        self.obs.inc("campaign.events", kind=event.event)
         if self.path is not None:
             with self.path.open("a") as handle:
                 handle.write(event.to_json() + "\n")

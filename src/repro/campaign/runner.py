@@ -16,6 +16,7 @@ to in-process serial execution so a flaky pool can never lose a campaign.
 
 from __future__ import annotations
 
+import os
 import time
 import uuid
 import dataclasses
@@ -30,12 +31,15 @@ from typing import IO, Optional, Sequence
 from ..core.scale import ExperimentScale
 from ..experiments import EXPERIMENTS, run_experiment
 from ..experiments.base import ExperimentResult
+from ..obs import NULL_OBS, AnyObs, Obs
 from .events import (
     CACHE_HIT,
     CAMPAIGN_FINISHED,
     CAMPAIGN_STARTED,
+    POOL_RESTART,
     TASK_FAILED,
     TASK_FINISHED,
+    TASK_REQUEUED,
     TASK_STARTED,
     WORKER_CRASHED,
     CampaignEvent,
@@ -44,10 +48,35 @@ from .events import (
 from .shards import SESSION_SHARDED, Task, merge_shard_results, plan_tasks
 from .store import ArtifactStore, code_fingerprint, scale_fingerprint
 
+#: crash-injection hook for exercising the pool-restart path end to end:
+#: ``REPRO_CRASH_WORKER_ONCE="<experiment_id>:<flag_path>"`` makes the first
+#: pool worker that picks up that experiment die hard (``os._exit``), exactly
+#: once (the flag file is the at-most-once latch).  The serial fallback and
+#: ``jobs=1`` runs are never killed -- the hook only fires in pool children.
+CRASH_ENV = "REPRO_CRASH_WORKER_ONCE"
+
+
+def _maybe_crash_for_test(experiment_id: str) -> None:
+    spec = os.environ.get(CRASH_ENV)
+    if not spec:
+        return
+    target, _, flag_path = spec.partition(":")
+    if not flag_path or (target and target != experiment_id):
+        return
+    if multiprocessing.current_process().name == "MainProcess":
+        return
+    try:
+        flag = os.open(flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError:
+        return  # someone already crashed for this flag
+    os.close(flag)
+    os._exit(3)
+
 
 def _execute_task(payload: tuple) -> tuple[dict, float, str]:
     """Process-pool entry point: run one task, return a picklable triple."""
     experiment_id, shard, kwargs, scale = payload
+    _maybe_crash_for_test(experiment_id)
     task = Task(experiment_id, shard=shard, kwargs=kwargs)
     started = time.perf_counter()
     result = run_experiment(task.experiment_id, scale, **task.run_kwargs())
@@ -83,6 +112,8 @@ class CampaignSummary:
     executed: int = 0
     cached: int = 0
     failed: int = 0
+    #: how many times the process pool died and was rebuilt
+    pool_restarts: int = 0
     total_elapsed: float = 0.0
 
     @property
@@ -92,6 +123,10 @@ class CampaignSummary:
     @property
     def events_path(self) -> Path:
         return self.run_dir / "events.jsonl"
+
+    @property
+    def obs_path(self) -> Path:
+        return self.run_dir / "obs.json"
 
 
 class CampaignRunner:
@@ -108,6 +143,7 @@ class CampaignRunner:
         stream: Optional[IO] = None,
         run_id: Optional[str] = None,
         shard_filter: Optional[Sequence[str]] = None,
+        obs: Optional[AnyObs] = None,
     ):
         self.store = store if store is not None else ArtifactStore()
         self.scale = scale or ExperimentScale.default()
@@ -118,6 +154,9 @@ class CampaignRunner:
         self.stream = stream
         self.shard_filter = tuple(shard_filter) if shard_filter else None
         self.run_id = run_id or time.strftime("%Y%m%dT%H%M%S") + "-" + uuid.uuid4().hex[:6]
+        # a campaign records by default: the per-run obs.json is how
+        # `repro trace` answers "what actually happened" after the fact
+        self.obs = obs if obs is not None else Obs()
 
     # ------------------------------------------------------------------
     def run(self, experiment_ids: Optional[Sequence[str]] = None) -> CampaignSummary:
@@ -135,7 +174,7 @@ class CampaignRunner:
             scale=self.scale,
         )
         summary.run_dir.mkdir(parents=True, exist_ok=True)
-        log = EventLog(summary.events_path, stream=self.stream)
+        log = EventLog(summary.events_path, stream=self.stream, obs=self.obs)
         started = time.perf_counter()
         log.emit(CampaignEvent(CAMPAIGN_STARTED, detail={
             "run_id": self.run_id,
@@ -160,15 +199,17 @@ class CampaignRunner:
             if self.jobs == 1:
                 self._run_serial(pending, outcomes, log)
             else:
-                self._run_pool(pending, outcomes, log)
+                summary.pool_restarts = self._run_pool(pending, outcomes, log)
 
         self._merge_and_record(ids, tasks, outcomes, summary)
         summary.total_elapsed = time.perf_counter() - started
+        self.obs.observe_s("campaign.run_s", summary.total_elapsed)
         log.emit(CampaignEvent(CAMPAIGN_FINISHED, elapsed=summary.total_elapsed,
                                detail={"executed": summary.executed,
                                        "cached": summary.cached,
                                        "failed": summary.failed}))
         self._write_manifest(summary, ids)
+        self.obs.export_json(summary.obs_path)
         return summary
 
     # -- scheduling ----------------------------------------------------
@@ -227,6 +268,7 @@ class CampaignRunner:
         log.emit(CampaignEvent(CACHE_HIT, experiment_id=task.experiment_id,
                                shard=task.shard, elapsed=saved, cache="hit",
                                worker="cache"))
+        self.obs.inc("campaign.tasks", status="cached")
         return TaskOutcome(
             task, "cached",
             result=ExperimentResult.from_dict(payload["result"]),
@@ -242,6 +284,8 @@ class CampaignRunner:
         self.store.put(key, result, elapsed, worker=worker)
         outcomes[task] = TaskOutcome(task, "executed", result=result,
                                      elapsed=elapsed, worker=worker)
+        self.obs.inc("campaign.tasks", status="executed")
+        self.obs.observe_s(f"campaign.task_s.{task.experiment_id}", elapsed)
         log.emit(CampaignEvent(TASK_FINISHED, experiment_id=task.experiment_id,
                                shard=task.shard, elapsed=elapsed,
                                cache="miss", worker=worker))
@@ -252,6 +296,8 @@ class CampaignRunner:
     ) -> None:
         message = f"{type(error).__name__}: {error}"
         outcomes[task] = TaskOutcome(task, "failed", error=message, worker=worker)
+        self.obs.inc("campaign.tasks", status="failed")
+        self.obs.inc("campaign.task_errors", error=type(error).__name__)
         log.emit(CampaignEvent(TASK_FAILED, experiment_id=task.experiment_id,
                                shard=task.shard, error=message, worker=worker))
 
@@ -276,7 +322,16 @@ class CampaignRunner:
     def _run_pool(
         self, pending: list[Task], outcomes: dict[Task, TaskOutcome],
         log: EventLog,
-    ) -> None:
+    ) -> int:
+        """Run ``pending`` on a process pool; returns the restart count.
+
+        A :class:`BrokenProcessPool` poisons every outstanding future, so a
+        single crash surfaces once per in-flight task; the crash event is
+        attributed to the task whose future raised it, and every task left
+        without an outcome gets a ``task_requeued`` event before the pool
+        is rebuilt -- the JSONL log then accounts for each task's full
+        history across restarts, not just its final completion.
+        """
         remaining = list(pending)
         restarts = 0
         while remaining:
@@ -301,8 +356,12 @@ class CampaignRunner:
                             result_dict, elapsed, worker = future.result()
                         except BrokenProcessPool as error:
                             crashed = True
-                            log.emit(CampaignEvent(WORKER_CRASHED,
-                                                   error=str(error) or "pool died"))
+                            log.emit(CampaignEvent(
+                                WORKER_CRASHED,
+                                experiment_id=task.experiment_id,
+                                shard=task.shard,
+                                error=str(error) or "pool died",
+                            ))
                         except Exception as error:
                             self._record_failure(task, error, outcomes, log,
                                                  worker="pool")
@@ -315,13 +374,24 @@ class CampaignRunner:
                 executor.shutdown(wait=False, cancel_futures=True)
             remaining = [t for t in remaining if t not in outcomes]
             if not crashed or not remaining:
-                return
+                return restarts
             restarts += 1
-            if restarts > self.max_pool_restarts:
+            serial = restarts > self.max_pool_restarts
+            log.emit(CampaignEvent(POOL_RESTART, detail={
+                "restart": restarts, "remaining": len(remaining),
+                "mode": "serial" if serial else "pool",
+            }))
+            for task in remaining:
+                log.emit(CampaignEvent(TASK_REQUEUED,
+                                       experiment_id=task.experiment_id,
+                                       shard=task.shard,
+                                       detail={"restart": restarts}))
+            if serial:
                 # the pool keeps dying; finish in-process so the campaign
                 # still completes (and a poisoned task fails loudly)
                 self._run_serial(remaining, outcomes, log)
-                return
+                return restarts
+        return restarts
 
     # -- merge + manifest ---------------------------------------------
     def _merge_and_record(
@@ -385,6 +455,7 @@ class CampaignRunner:
                 "cached": summary.cached,
                 "failed": summary.failed,
             },
+            "pool_restarts": summary.pool_restarts,
             "total_elapsed": summary.total_elapsed,
             "tasks": [
                 {

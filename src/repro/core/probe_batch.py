@@ -81,6 +81,8 @@ from ..disturbance.ledger import N_POOLS
 from ..disturbance.model import SYNERGY_HIT_WINDOW, classify_pattern
 from ..dram.bank import STREAM_ACT, STREAM_PRE, Bank
 from ..dram.commands import ActivationEvent
+from ..dram.errors import DramError
+from ..obs import NULL_OBS
 from .hcfirst import (
     CONVERGENCE,
     DEFAULT_MAX_HAMMERS,
@@ -694,6 +696,11 @@ class _UnitPlan:
     #: the unit touches bank-global clock-coupled state (refresh rotor) or
     #: has an unknown footprint; poisons the whole call
     global_hazard: bool = False
+    #: why the planner reached this verdict: ``"batched"`` for a lowered
+    #: unit, otherwise one reason from the fallback taxonomy (DESIGN.md
+    #: §13) -- every verdict carries one so a coverage collapse shows up
+    #: as a labeled counter, never a silent slowdown
+    reason: str = "batched"
 
 
 def _frac_hazard(stream: CompiledStream) -> bool:
@@ -762,8 +769,15 @@ def _joint_gaps(loops: Sequence[tuple[CompiledStream, Optional[int]]]) -> list[f
 def _lower_loops(
     setup: ProbeSetup,
     instrs_lo: Optional[Sequence[Instruction]] = None,
-) -> Optional[list[tuple[CompiledStream, Optional[int]]]]:
-    """Lower the setup's program into compiled loop segments, or None.
+) -> tuple[Optional[list[tuple[CompiledStream, Optional[int]]]], str]:
+    """Lower the setup's program into ``(compiled loop segments, reason)``.
+
+    On success the segments come back with reason ``"batched"``; on any
+    structural miss the segments are None and the reason names exactly
+    which guard refused the lowering.  Only :class:`DramError` (the
+    device model's own failure family) is treated as "this program
+    cannot be built at the calibration counts" -- anything else is a bug
+    in the factory or the planner and propagates.
 
     ``instrs_lo`` lets the caller pass an already-built low-count program
     (``plan_unit`` builds one for the row walk) instead of paying a third
@@ -774,33 +788,33 @@ def _lower_loops(
         if instrs_lo is None:
             instrs_lo = setup.program_factory(_CAL_COUNTS[0]).instructions
         instrs_hi = setup.program_factory(_CAL_COUNTS[1]).instructions
-    except Exception:
-        return None
+    except DramError:
+        return None, "factory_error"
     if not instrs_lo or len(instrs_lo) != len(instrs_hi):
-        return None
+        return None, "program_shape"
     loops: list[tuple[CompiledStream, Optional[int]]] = []
     saw_varying = False
     for inst_lo, inst_hi in zip(instrs_lo, instrs_hi):
         if not isinstance(inst_lo, Loop) or not isinstance(inst_hi, Loop):
-            return None
+            return None, "not_loop_nest"
         if inst_lo.body != inst_hi.body:
-            return None
+            return None, "not_loop_nest"
         if inst_lo.count == inst_hi.count:
             fixed: Optional[int] = inst_lo.count
         elif (inst_lo.count, inst_hi.count) == _CAL_COUNTS:
             fixed = None
             saw_varying = True
         else:
-            return None
+            return None, "count_shape"
         stream = compile_stream(inst_lo.body, module)
         if stream is None or stream.bank != setup.bank:
-            return None
+            return None, "uncompilable_stream"
         if _frac_hazard(stream):
-            return None
+            return None, "frac_hazard"
         loops.append((stream, fixed))
     if not saw_varying:
-        return None
-    return loops
+        return None, "no_varying_loop"
+    return loops, "batched"
 
 
 def _restore_joint_hazard(
@@ -829,18 +843,30 @@ def _restore_joint_hazard(
 
 
 def plan_unit(setup: ProbeSetup) -> _UnitPlan:
-    """Classify one probe setup for the batched engine."""
+    """Classify one probe setup for the batched engine.
+
+    Every verdict is labeled: the returned plan's ``reason`` is
+    ``"batched"`` on the fused path, otherwise it names the specific
+    guard that forced the fallback.  A program factory may legitimately
+    fail with a :class:`DramError` at the calibration counts (rows it
+    cannot place, operations the chip family rejects); any *other*
+    exception is a bug and propagates instead of silently degrading the
+    whole call to the scalar loop.
+    """
     module = setup.module
     bank = module.bank(setup.bank)
     row_keys = set(setup.row_data)
 
     walked = None
     instrs_lo = None
+    reason = "batched"
     try:
         instrs_lo = setup.program_factory(_CAL_COUNTS[0]).instructions
         walked = _walk_rows(instrs_lo, module)
-    except Exception:
-        pass
+        if walked is None:
+            reason = "ref_program"
+    except DramError:
+        reason = "factory_error"
     if walked is None:
         # REF rotor / unknown program: footprint unknowable, whole call
         # must run the scalar loop
@@ -850,15 +876,21 @@ def plan_unit(setup: ProbeSetup) -> _UnitPlan:
             tie_hazard=True,
             clock_sensitive=True,
             global_hazard=True,
+            reason=reason,
         )
     acted, touched = walked
 
     batched: Optional[_BatchedUnit] = None
     loops = None
-    if len(setup.victims) == 1 and bank.trr is None:
-        loops = _lower_loops(setup, instrs_lo)
+    if len(setup.victims) != 1:
+        reason = "multi_victim"
+    elif bank.trr is not None:
+        reason = "trr_attached"
+    else:
+        loops, reason = _lower_loops(setup, instrs_lo)
         if loops is not None and _restore_joint_hazard(setup, loops):
             loops = None
+            reason = "restore_joint_hazard"
 
     # Can any activation in this unit open a multi-row (SiMRA / multi-copy)
     # session?  Only then can decoder groups pull in extra rows or
@@ -891,6 +923,7 @@ def plan_unit(setup: ProbeSetup) -> _UnitPlan:
             )
         except KeyError:
             expected = None
+            reason = "missing_expected"
         if expected is not None:
             batched = _BatchedUnit(
                 victim=victim,
@@ -898,6 +931,8 @@ def plan_unit(setup: ProbeSetup) -> _UnitPlan:
                 snapshot=bank.snapshot_rows(setup.row_data),
                 loops=loops,
             )
+    elif loops is not None:
+        reason = "clock_sensitive"
 
     # frac sensing is guarded out of batched streams, so a batched unit
     # can only tie via charge sharing; a scalar fallback could do either
@@ -907,6 +942,7 @@ def plan_unit(setup: ProbeSetup) -> _UnitPlan:
         footprint=frozenset(footprint),
         tie_hazard=tie_hazard,
         clock_sensitive=clock_sensitive,
+        reason=reason,
     )
 
 
@@ -939,6 +975,7 @@ class BatchedSearchEngine:
         convergence: float = CONVERGENCE,
         initial_guess: int = 1024,
         stage_s: Optional[dict] = None,
+        obs=None,
     ) -> None:
         if not setups:
             raise ValueError("no probe setups")
@@ -946,6 +983,12 @@ class BatchedSearchEngine:
         #: clock reads; keys: translate / capture / replay_snapshot /
         #: replay_kernel (see :func:`run_batched_searches`)
         self.stage_s = stage_s
+        #: metrics registry; the default no-op registry keeps the probe
+        #: loop overhead at one empty method call per probe
+        self.obs = obs if obs is not None else NULL_OBS
+        #: why the last flat replay attempt bailed (set by
+        #: :meth:`_replay_probe_flat` before each ``return None``)
+        self._flat_miss: Optional[str] = None
         module = setups[0].module
         bank_index = setups[0].bank
         for setup in setups:
@@ -977,6 +1020,13 @@ class BatchedSearchEngine:
             if any(self.plans[i].clock_sensitive for i in component):
                 for i in component:
                     self.units[i] = None
+        # one disposition per unit: the planner's own verdict, overridden
+        # when component poisoning (above) demoted a lowered unit
+        for i, plan in enumerate(self.plans):
+            disposition = plan.reason
+            if plan.batched is not None and self.units[i] is None:
+                disposition = "component_clock_sensitive"
+            self.obs.inc("probe.units", disposition=disposition)
         self.results: list[Optional[HcFirstResult]] = [None] * n
         self.books = [_UnitBookkeeping() for _ in range(n)]
         # shape classes: a unit whose streams, snapshot and row images are
@@ -1157,6 +1207,7 @@ class BatchedSearchEngine:
         unit = self.units[i]
         assert unit is not None
         bank = self.bank
+        obs = self.obs
         if unit.fast_allowed:
             sig = _shape_signature(unit.loops, count)
             trace = unit.traces.get(sig)
@@ -1171,7 +1222,13 @@ class BatchedSearchEngine:
                             i, count, trace, flat
                         )
                         if result is not None:
+                            obs.inc("probe.probes", path="flat")
                             return result
+                        obs.inc("probe.probes", path="interp",
+                                reason=self._flat_miss or "unknown")
+                    else:
+                        obs.inc("probe.probes", path="interp",
+                                reason="flat_uncompilable")
                     return self._replay_probe_fast(i, count, trace)
                 unit.traces.clear()
             donor = self._donor[i]
@@ -1201,7 +1258,9 @@ class BatchedSearchEngine:
                             timers.get("translate", 0.0) + perf_counter() - t0
                         )
                     unit.traces[sig] = trace
+                    obs.inc("probe.probes", path="interp", reason="translated")
                     return self._replay_probe_fast(i, count, trace)
+            obs.inc("probe.probes", path="capture")
             timers = self.stage_s
             if timers is None:
                 return self._capture_probe(i, count, sig)
@@ -1211,6 +1270,7 @@ class BatchedSearchEngine:
                 timers.get("capture", 0.0) + perf_counter() - t0
             )
             return result
+        obs.inc("probe.probes", path="slow")
         return self._replay_probe(i, count)
 
     def _replay_probe(self, i: int, count: int, capture=None) -> ProbeResult:
@@ -1715,13 +1775,16 @@ class BatchedSearchEngine:
 
         Bit-identical to :meth:`_replay_probe_fast` on the same trace by
         construction (see :class:`_FlatProbe`); returns None when a
-        replay precondition misses, in which case the caller runs the
+        replay precondition misses -- recording which guard missed in
+        ``self._flat_miss`` -- in which case the caller runs the
         interpreter (which self-heals the guards for the next probe).
         """
         if count < 2:
+            self._flat_miss = "count_lt_2"
             return None
         bank = self.bank
         if bank._pending is not None:
+            self._flat_miss = "pending_session"
             return None
         unit = self.units[i]
         assert unit is not None
@@ -1733,6 +1796,7 @@ class BatchedSearchEngine:
         need = None
         for row in flat.prologue_rows:
             if row not in last_close:
+                self._flat_miss = "no_recorded_close"
                 return None
             if dv_get(row, 0) != versions.get(row):
                 if need is None:
@@ -1744,16 +1808,20 @@ class BatchedSearchEngine:
                 # a pattern move re-resolved this entry's plan after the
                 # compile; drop the program and recompile next probe
                 trace.flat = None
+                self._flat_miss = "plan_moved"
                 return None
             if need is not None and e.row0 in need:
                 # the prologue image restore below revalidates it
                 if not image_ok:
+                    self._flat_miss = "version_guard"
                     return None
             elif dv_get(e.row0, 0) != e.version:
+                self._flat_miss = "version_guard"
                 return None
         t = count - 1.0
         for cst, coef in flat.touch_checks:
             if cst + coef * t >= 0.995:
+                self._flat_miss = "touch_guard"
                 return None
         timers = self.stage_s
         t_stage = perf_counter() if timers is not None else 0.0
@@ -2121,6 +2189,14 @@ class BatchedSearchEngine:
     # -- driver ----------------------------------------------------------
     def _run_scalar(self, i: int) -> None:
         """Run one unit through the scalar search at its component slot."""
+        plan = self.plans[i]
+        if plan.batched is None:
+            reason = plan.reason
+        elif self.global_fallback:
+            reason = "global_hazard"
+        else:
+            reason = "component_clock_sensitive"
+        self.obs.inc("probe.scalar_searches", reason=reason)
         self.results[i] = find_hc_first_repeated(
             self.setups[i],
             repeats=self.repeats,
@@ -2179,6 +2255,7 @@ def run_batched_searches(
     convergence: float = CONVERGENCE,
     initial_guess: int = 1024,
     stage_s: Optional[dict] = None,
+    obs=None,
 ) -> list[HcFirstResult]:
     """Run many single-victim HC_first searches with fused batched probes.
 
@@ -2194,15 +2271,33 @@ def run_batched_searches(
     and ledger bookkeeping) and ``replay_kernel`` (fast-replay hammer
     segments and epilogue: fault-model plan application, touches, flip
     realization).  None -- the default -- skips the clock reads entirely.
+
+    ``obs`` (a :class:`repro.obs.Obs`) additionally records the planner's
+    per-unit dispositions (``probe.units{disposition=...}``), the probe
+    path taken per probe (``probe.probes{path=...}``) and the per-stage
+    wall time as ``probe.stage.<key>`` timers; an enabled registry turns
+    the stage clock on even when the caller passed no ``stage_s``.
     """
     if not setups:
         return []
+    obs = obs if obs is not None else NULL_OBS
+    stages = stage_s
+    if obs.enabled and stages is None:
+        stages = {}
+    before = dict(stages) if (obs.enabled and stages is not None) else None
     engine = BatchedSearchEngine(
         setups,
         repeats=repeats,
         max_hammers=max_hammers,
         convergence=convergence,
         initial_guess=initial_guess,
-        stage_s=stage_s,
+        stage_s=stages,
+        obs=obs,
     )
-    return engine.run()
+    results = engine.run()
+    if before is not None:
+        for key, value in stages.items():
+            delta = value - before.get(key, 0.0)
+            if delta > 0.0:
+                obs.observe_s(f"probe.stage.{key}", delta)
+    return results

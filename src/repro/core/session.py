@@ -37,6 +37,7 @@ from .hcfirst import (
     standard_row_data,
 )
 from .metrics import Measurement
+from ..obs import NULL_OBS
 from .probe_batch import run_batched_searches
 from .scale import ExperimentScale
 
@@ -83,24 +84,35 @@ class CharacterizationSession:
     #: used by the equivalence suite and for debugging)
     batch_probes: bool = True
 
-    #: set to a dict to accumulate the batched engine's per-stage wall
-    #: times across ``measure_many_*`` calls (see
-    #: :func:`repro.core.probe_batch.run_batched_searches`); None skips
-    #: the instrumentation
-    probe_stage_s: Optional[dict] = None
-
     def __init__(
         self,
         module: DramModule,
         scale: Optional[ExperimentScale] = None,
         bank: int = 0,
+        obs=None,
     ) -> None:
         self.module = module
         self.scale = scale or ExperimentScale.default()
         self.bank = bank
+        #: metrics registry shared with the batched probe engine (unit
+        #: dispositions, per-probe path counters, stage timers); the
+        #: default no-op registry records nothing
+        self.obs = obs if obs is not None else NULL_OBS
+        #: set to a dict to accumulate the batched engine's per-stage wall
+        #: times across ``measure_many_*`` calls (see
+        #: :func:`repro.core.probe_batch.run_batched_searches`); None skips
+        #: the instrumentation.  Deliberately an *instance* attribute: a
+        #: stage dict must never be shared across sessions, or timings
+        #: bleed between bench cells.
+        self.probe_stage_s: Optional[dict] = None
         self.controller = TemperatureController(module)
         self.controller.hold(80.0)
         self._wcdp_cache: dict[tuple[int, Mechanism], DataPattern] = {}
+
+    def reset_probe_stages(self) -> None:
+        """Zero the stage accumulator in place (keeps dict identity)."""
+        if self.probe_stage_s is not None:
+            self.probe_stage_s.clear()
 
     # ------------------------------------------------------------------
     # Environment
@@ -341,6 +353,7 @@ class CharacterizationSession:
                 repeats=self.scale.repeats,
                 max_hammers=self.scale.max_hammers,
                 stage_s=self.probe_stage_s,
+                obs=self.obs,
             )
         else:
             outcomes = [

@@ -32,9 +32,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import astuple, dataclass
+from time import perf_counter
 from typing import Optional
 
 from ..mitigations.prac import OpClass, PracConfig, PracCounters
+from ..obs import NULL_OBS
 from ..workloads.fast_traces import BatchedTraceGenerator
 from ..workloads.mixes import PudWorkloadConfig, WorkloadMix
 from ..workloads.profiles import WorkloadProfile
@@ -261,10 +263,14 @@ class MemorySystem:
         prac: Optional[PracConfig],
         config: Optional[MemSysConfig] = None,
         seed: int = 0,
+        obs=None,
     ) -> None:
         self.config = config or MemSysConfig()
         self.mix = mix
         self.pud = pud
+        #: metrics registry; the simulator records one span plus its final
+        #: counters per :meth:`run` -- never anything inside the event loop
+        self.obs = obs if obs is not None else NULL_OBS
         self.cores = [
             _Core(i, profile, self.config, seed=seed * 101 + i)
             for i, profile in enumerate(mix.profiles)
@@ -331,6 +337,7 @@ class MemorySystem:
         # lookups / tiny method calls dominate otherwise.  Visit sets are
         # int bitmasks (cores and banks are single-digit counts), walked
         # lowest-bit-first, which yields id order for free.
+        t_wall = perf_counter() if self.obs.enabled else 0.0
         config = self.config
         horizon = config.horizon_ns
         frfcfs_cap = config.frfcfs_cap
@@ -556,6 +563,13 @@ class MemorySystem:
             self.cores[request.core].complete(request)
 
         self.stats["requests"] = requests
+        obs = self.obs
+        if obs.enabled:
+            obs.observe_s("memsys.run_s", perf_counter() - t_wall)
+            obs.inc("memsys.requests", requests)
+            obs.inc("memsys.requests_served", served)
+            obs.inc("memsys.pud_ops", self.stats["pud_ops"])
+            obs.inc("memsys.backoffs", self.stats["backoffs"])
         elapsed = max(horizon, 1.0)
         return SimResult(
             ipc_per_core=[

@@ -1,0 +1,28 @@
+"""``repro.obs``: counters, span timers, and per-run trace rendering.
+
+See :mod:`repro.obs.registry` for the metrics API (the :class:`Obs`
+recording registry and its no-op twin :data:`NULL_OBS`) and
+:mod:`repro.obs.trace` for the ``repro trace`` run-summary loader.
+"""
+
+from .registry import (
+    NULL_OBS,
+    AnyObs,
+    NullObs,
+    Obs,
+    format_labels,
+    get_obs,
+    set_obs,
+    using,
+)
+
+__all__ = [
+    "NULL_OBS",
+    "AnyObs",
+    "NullObs",
+    "Obs",
+    "format_labels",
+    "get_obs",
+    "set_obs",
+    "using",
+]

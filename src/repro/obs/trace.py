@@ -1,0 +1,174 @@
+"""Per-run trace rendering for the ``repro trace`` CLI subcommand.
+
+A campaign run directory (``runs/<run_id>/`` under the artifact store)
+holds three files written by the runner: ``manifest.json`` (the final
+word on what ran and how it ended), ``events.jsonl`` (the append-only
+progress log, complete even for a killed run), and ``obs.json`` (the
+metrics snapshot exported by the run's :class:`~repro.obs.Obs`
+registry).  This module reads them back and renders one human-readable
+summary per run -- tasks with status and timing, the crash/requeue
+story when a pool died, and the counter/timer table.
+
+Everything here is read-only and tolerant of partial runs: a killed
+campaign has events but no manifest, an old run predating obs has no
+``obs.json``; both still render from whatever is present.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from ..campaign.events import (
+    CAMPAIGN_FINISHED,
+    POOL_RESTART,
+    TASK_REQUEUED,
+    WORKER_CRASHED,
+    CampaignEvent,
+    read_events,
+)
+
+
+def list_runs(runs_dir: Path) -> list[Path]:
+    """Run directories under ``runs_dir``, oldest first.
+
+    Ordered by manifest ``created_at`` when readable; manifest-less runs
+    (killed campaigns) sort by directory mtime among themselves, last.
+    """
+    runs_dir = Path(runs_dir)
+    if not runs_dir.exists():
+        return []
+    finished, unfinished = [], []
+    for path in sorted(p for p in runs_dir.iterdir() if p.is_dir()):
+        manifest = path / "manifest.json"
+        try:
+            created = float(json.loads(manifest.read_text())["created_at"])
+        except (OSError, ValueError, KeyError, TypeError):
+            unfinished.append((path.stat().st_mtime, path))
+        else:
+            finished.append((created, path))
+    finished.sort(key=lambda item: item[0])
+    unfinished.sort(key=lambda item: item[0])
+    return [path for _, path in finished] + [path for _, path in unfinished]
+
+
+def resolve_run(runs_dir: Path, run_id: Optional[str] = None) -> Path:
+    """Locate one run directory: by id, or the most recent one."""
+    runs_dir = Path(runs_dir)
+    if run_id is not None:
+        run_dir = runs_dir / run_id
+        if not run_dir.is_dir():
+            raise FileNotFoundError(
+                f"no run {run_id!r} under {runs_dir} "
+                f"(known: {[p.name for p in list_runs(runs_dir)] or 'none'})"
+            )
+        return run_dir
+    runs = list_runs(runs_dir)
+    if not runs:
+        raise FileNotFoundError(f"no campaign runs under {runs_dir}")
+    return runs[-1]
+
+
+def load_run(run_dir: Path) -> dict:
+    """Everything known about one run, as one JSON-ready dict."""
+    run_dir = Path(run_dir)
+    manifest: Optional[dict] = None
+    manifest_path = run_dir / "manifest.json"
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+    events: list[CampaignEvent] = []
+    events_path = run_dir / "events.jsonl"
+    if events_path.exists():
+        events = list(read_events(events_path))
+    obs: Optional[dict] = None
+    obs_path = run_dir / "obs.json"
+    if obs_path.exists():
+        obs = json.loads(obs_path.read_text())
+    return {
+        "run_id": run_dir.name,
+        "run_dir": str(run_dir),
+        "manifest": manifest,
+        "events": events,
+        "obs": obs,
+    }
+
+
+def _fmt_seconds(value) -> str:
+    try:
+        return f"{float(value):.2f}s"
+    except (TypeError, ValueError):
+        return "?"
+
+
+def render_run(run: dict) -> str:
+    """The multi-line summary ``repro trace`` prints for one run."""
+    lines: list[str] = []
+    manifest = run.get("manifest")
+    events: list[CampaignEvent] = run.get("events") or []
+    finished = manifest is not None or any(
+        e.event == CAMPAIGN_FINISHED for e in events
+    )
+    status = "finished" if finished else "INCOMPLETE (no manifest)"
+    lines.append(f"run {run['run_id']}  [{status}]")
+
+    if manifest is not None:
+        counts = manifest.get("counts", {})
+        lines.append(
+            f"  tasks: {counts.get('executed', 0)} executed, "
+            f"{counts.get('cached', 0)} cached, "
+            f"{counts.get('failed', 0)} failed  "
+            f"jobs={manifest.get('jobs', '?')}  "
+            f"pool_restarts={manifest.get('pool_restarts', 0)}  "
+            f"total={_fmt_seconds(manifest.get('total_elapsed'))}"
+        )
+        for task in manifest.get("tasks", []):
+            label = task.get("experiment_id") or "?"
+            if task.get("shard"):
+                label = f"{label}[{task['shard']}]"
+            line = (
+                f"    {task.get('status', '?'):8s} {label:40s} "
+                f"{_fmt_seconds(task.get('elapsed'))}"
+                f"  [{task.get('worker') or '-'}]"
+            )
+            if task.get("error"):
+                line += f"  {task['error']}"
+            lines.append(line)
+
+    crashes = [e for e in events if e.event == WORKER_CRASHED]
+    restarts = [e for e in events if e.event == POOL_RESTART]
+    requeues = [e for e in events if e.event == TASK_REQUEUED]
+    if crashes or restarts or requeues:
+        lines.append(
+            f"  crash path: {len(crashes)} worker crash(es), "
+            f"{len(restarts)} pool restart(s), "
+            f"{len(requeues)} task(s) requeued"
+        )
+        for event in crashes:
+            where = f" during {event.label}" if event.label else ""
+            lines.append(f"    crash{where}: {event.error}")
+        for event in requeues:
+            attempt = (event.detail or {}).get("restart", "?")
+            lines.append(f"    requeued {event.label} (restart #{attempt})")
+
+    obs = run.get("obs")
+    if obs:
+        counters = obs.get("counters") or {}
+        timers = obs.get("timers") or {}
+        if counters:
+            lines.append("  counters:")
+            for name, by_label in counters.items():
+                for label, value in by_label.items():
+                    suffix = f"{{{label}}}" if label else ""
+                    lines.append(f"    {name}{suffix} = {value}")
+        if timers:
+            lines.append("  timers:")
+            for name, entry in timers.items():
+                total = entry.get("total_s", 0.0)
+                count = entry.get("count", 0)
+                lines.append(
+                    f"    {name}: {total:.3f}s total / {count} span(s)"
+                )
+    elif finished:
+        lines.append("  (no obs.json for this run)")
+    return "\n".join(lines)

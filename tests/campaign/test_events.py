@@ -6,8 +6,10 @@ from repro.campaign import (
     CACHE_HIT,
     CAMPAIGN_FINISHED,
     CAMPAIGN_STARTED,
+    POOL_RESTART,
     TASK_FAILED,
     TASK_FINISHED,
+    TASK_REQUEUED,
     TASK_STARTED,
     WORKER_CRASHED,
     CampaignEvent,
@@ -15,6 +17,7 @@ from repro.campaign import (
     read_events,
     render_event,
 )
+from repro.obs import Obs
 
 
 def test_jsonl_roundtrip(tmp_path):
@@ -57,8 +60,25 @@ def test_render_event_covers_lifecycle():
     assert "FAILED" in render_event(
         CampaignEvent(TASK_FAILED, experiment_id="fig04", error="boom")
     )
-    assert "retrying" in render_event(
+    assert "crashed" in render_event(
         CampaignEvent(WORKER_CRASHED, error="pool died")
+    )
+    # a crash attributed to the task whose future surfaced it names the task
+    assert "fig04" in render_event(
+        CampaignEvent(WORKER_CRASHED, experiment_id="fig04", error="pool died")
+    )
+    requeued = render_event(
+        CampaignEvent(TASK_REQUEUED, experiment_id="fig04",
+                      shard="hynix-a-8gb", detail={"restart": 2})
+    )
+    assert "fig04[hynix-a-8gb]" in requeued and "#2" in requeued
+    assert "restarting worker pool" in render_event(
+        CampaignEvent(POOL_RESTART, detail={"restart": 1, "remaining": 3,
+                                            "mode": "pool"})
+    )
+    assert "serial" in render_event(
+        CampaignEvent(POOL_RESTART, detail={"restart": 2, "remaining": 3,
+                                            "mode": "serial"})
     )
     finished = render_event(
         CampaignEvent(CAMPAIGN_FINISHED, elapsed=10.0,
@@ -67,3 +87,16 @@ def test_render_event_covers_lifecycle():
     assert "3 executed" in finished and "2 cached" in finished
     # TASK_STARTED is intentionally quiet
     assert render_event(CampaignEvent(TASK_STARTED, experiment_id="x")) is None
+
+
+def test_event_log_mirrors_into_obs_counters():
+    obs = Obs()
+    log = EventLog(obs=obs)
+    log.emit(CampaignEvent(TASK_STARTED, experiment_id="fig04"))
+    log.emit(CampaignEvent(TASK_FINISHED, experiment_id="fig04",
+                           elapsed=0.1, worker="pool-1"))
+    log.emit(CampaignEvent(TASK_FINISHED, experiment_id="fig05",
+                           elapsed=0.2, worker="pool-2"))
+    assert obs.get("campaign.events", kind=TASK_STARTED) == 1
+    assert obs.get("campaign.events", kind=TASK_FINISHED) == 2
+    assert obs.total("campaign.events") == 3

@@ -13,8 +13,10 @@ import pytest
 from repro import ExperimentScale
 from repro.campaign import (
     CACHE_HIT,
+    POOL_RESTART,
     TASK_FAILED,
     TASK_FINISHED,
+    TASK_REQUEUED,
     WORKER_CRASHED,
     ArtifactStore,
     CampaignRunner,
@@ -166,6 +168,46 @@ def test_worker_crash_retries_then_serial_fallback(tmp_path, monkeypatch):
     assert len(crashes) >= 2
     assert any(e.event == TASK_FINISHED and e.worker == "serial"
                for e in events)
+    # every crash is attributed to the task that was in flight
+    assert all(e.experiment_id == "crashy" for e in crashes)
+    # each crash requeues the surviving work with the restart attempt
+    requeues = [e for e in events if e.event == TASK_REQUEUED]
+    assert [e.experiment_id for e in requeues] == ["crashy", "crashy"]
+    assert [e.detail["restart"] for e in requeues] == [1, 2]
+    restarts = [e for e in events if e.event == POOL_RESTART]
+    assert [e.detail["mode"] for e in restarts] == ["pool", "serial"]
+    assert all(e.detail["remaining"] == 1 for e in restarts)
+    # the restart count survives into the manifest and the summary
+    assert summary.pool_restarts == 2
+    manifest = json.loads(summary.manifest_path.read_text())
+    assert manifest["pool_restarts"] == 2
+    # ...and the obs snapshot mirrors the crash-path event counts
+    obs = json.loads(summary.obs_path.read_text())
+    events_by_kind = obs["counters"]["campaign.events"]
+    assert events_by_kind[f"kind={WORKER_CRASHED}"] == 2
+    assert events_by_kind[f"kind={TASK_REQUEUED}"] == 2
+    assert events_by_kind[f"kind={POOL_RESTART}"] == 2
+
+
+@fork_only
+def test_crash_env_hook_kills_one_pool_worker(tmp_path, monkeypatch):
+    """REPRO_CRASH_WORKER_ONCE (the CI crash-smoke hook) crashes a real
+    experiment's worker exactly once; the campaign still completes."""
+    from repro.campaign.runner import CRASH_ENV
+
+    flag = tmp_path / "crashed.flag"
+    monkeypatch.setenv(CRASH_ENV, f"table1:{flag}")
+    store = ArtifactStore(tmp_path / "store")
+    runner = CampaignRunner(store=store, scale=SMALL, jobs=2,
+                            max_pool_restarts=1)
+    summary = runner.run(["table1", "fig21"])
+    assert flag.exists()  # the hook fired (and only once: the flag gates it)
+    assert summary.executed == 2 and not summary.failures
+    assert summary.pool_restarts >= 1
+    events = list(read_events(summary.events_path))
+    crashes = [e for e in events if e.event == WORKER_CRASHED]
+    assert any(e.experiment_id == "table1" for e in crashes)
+    assert any(e.event == TASK_REQUEUED for e in events)
 
 
 SMOKE = ExperimentScale.smoke()

@@ -138,3 +138,74 @@ class TestScalarEquivalence:
         victims = hynix_session.candidate_victims()[:4]
         many = hynix_session.measure_many_rowhammer_ds(victims)
         assert [m.victim for m in many] == victims
+
+
+class TestFallbackNarrowing:
+    """Planner failures are either counted fallbacks or loud bugs.
+
+    The old behavior -- a bare ``except Exception`` around planning --
+    made an injected planner/compiler bug indistinguishable from a
+    legitimate "this program cannot batch" verdict: both silently ran
+    the scalar loop.  Now only :class:`DramError` (the device model's
+    own failure family) may demote a unit, and every demotion carries a
+    reason counter.
+    """
+
+    def test_injected_planner_bug_raises(self, monkeypatch):
+        from repro.core import probe_batch
+
+        batched, _ = _sessions("hynix-a-8gb", "oracle")
+        victims = batched.candidate_victims()[:2]
+
+        def boom(*args, **kwargs):
+            raise TypeError("injected planner bug")
+
+        monkeypatch.setattr(probe_batch, "_walk_rows", boom)
+        with pytest.raises(TypeError, match="injected planner bug"):
+            batched.measure_many_rowhammer_ds(victims)
+
+    def test_injected_lowering_bug_raises(self, monkeypatch):
+        from repro.core import probe_batch
+
+        batched, _ = _sessions("hynix-a-8gb", "oracle")
+        victims = batched.candidate_victims()[:2]
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected lowering bug")
+
+        monkeypatch.setattr(probe_batch, "compile_stream", boom)
+        with pytest.raises(RuntimeError, match="injected lowering bug"):
+            batched.measure_many_rowhammer_ds(victims)
+
+    def test_dram_error_is_a_counted_fallback(self, monkeypatch):
+        from repro.core import probe_batch
+        from repro.dram.errors import UnsupportedOperationError
+        from repro.obs import Obs
+
+        scale = ExperimentScale.small()
+        obs = Obs()
+        batched = CharacterizationSession(
+            make_module("hynix-a-8gb"), scale, obs=obs
+        )
+        scalar = CharacterizationSession(make_module("hynix-a-8gb"), scale)
+        scalar.batch_probes = False
+        victims = batched.candidate_victims()[:2]
+
+        def denied(*args, **kwargs):
+            raise UnsupportedOperationError("chip family rejects this")
+
+        monkeypatch.setattr(probe_batch, "_walk_rows", denied)
+        many = batched.measure_many_rowhammer_ds(victims)
+        ref = [scalar.measure_rowhammer_ds(v) for v in victims]
+        # still bit-identical to the scalar loop...
+        _assert_identical(many, ref)
+        # ...but the degradation is visible: every unit and every scalar
+        # search carries the factory_error reason, and nothing claims to
+        # have run on the compiled path
+        assert obs.by_label("probe.units", "disposition") == {
+            "factory_error": len(victims)
+        }
+        assert obs.by_label("probe.scalar_searches", "reason") == {
+            "factory_error": len(victims)
+        }
+        assert obs.total("probe.probes") == 0

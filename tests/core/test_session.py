@@ -100,3 +100,41 @@ class TestCombined:
         outcome = hynix_session.measure_combined(victims[0])
         assert outcome is not None
         assert outcome.reduction == pytest.approx(1.0, rel=0.05)
+
+
+class TestProbeStageIsolation:
+    """Stage accumulators must not bleed across sessions or resets."""
+
+    def test_stage_dict_is_per_instance(self, hynix_module, small_scale):
+        a = CharacterizationSession(hynix_module, small_scale)
+        b = CharacterizationSession(hynix_module, small_scale)
+        assert a.probe_stage_s is None and b.probe_stage_s is None
+        a.probe_stage_s = {}
+        a.measure_many_rowhammer_ds(a.candidate_victims()[:2])
+        assert a.probe_stage_s  # the batched engine recorded stages
+        # the other session never opted in and must stay untouched
+        assert b.probe_stage_s is None
+
+    def test_measure_many_accumulates_until_reset(self, hynix_session):
+        hynix_session.probe_stage_s = {}
+        victims = hynix_session.candidate_victims()[:2]
+        hynix_session.measure_many_rowhammer_ds(victims)
+        first = dict(hynix_session.probe_stage_s)
+        assert first
+        hynix_session.measure_many_rowhammer_ds(victims)
+        # accumulation across calls is the documented contract...
+        assert all(
+            hynix_session.probe_stage_s[k] >= v for k, v in first.items()
+        )
+        # ...and reset starts a fresh cell without changing dict identity
+        stages = hynix_session.probe_stage_s
+        hynix_session.reset_probe_stages()
+        assert hynix_session.probe_stage_s is stages
+        assert stages == {}
+        hynix_session.measure_many_rowhammer_ds(victims)
+        assert stages  # post-reset measurements land in the same dict
+
+    def test_reset_without_opt_in_is_a_noop(self, hynix_session):
+        assert hynix_session.probe_stage_s is None
+        hynix_session.reset_probe_stages()
+        assert hynix_session.probe_stage_s is None

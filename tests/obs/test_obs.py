@@ -1,0 +1,153 @@
+"""repro.obs registry: counters, timers, the null twin, ambient scoping."""
+
+import json
+
+from repro.obs import NULL_OBS, NullObs, Obs, format_labels, get_obs, set_obs, using
+from repro.obs.registry import _NULL_SPAN
+
+
+class TestCounters:
+    def test_inc_and_get_unlabeled(self):
+        obs = Obs()
+        obs.inc("events")
+        obs.inc("events", 4)
+        assert obs.get("events") == 5
+
+    def test_labels_key_distinct_series(self):
+        obs = Obs()
+        obs.inc("probes", path="flat")
+        obs.inc("probes", path="flat")
+        obs.inc("probes", path="interp", reason="translated")
+        assert obs.get("probes", path="flat") == 2
+        assert obs.get("probes", path="interp", reason="translated") == 1
+        assert obs.get("probes", path="slow") == 0
+
+    def test_label_order_is_irrelevant(self):
+        obs = Obs()
+        obs.inc("probes", path="interp", reason="translated")
+        assert obs.get("probes", reason="translated", path="interp") == 1
+
+    def test_total_sums_across_labels(self):
+        obs = Obs()
+        obs.inc("probes", path="flat")
+        obs.inc("probes", path="interp")
+        obs.inc("probes")
+        assert obs.total("probes") == 3
+        assert obs.total("absent") == 0
+
+    def test_by_label_groups_and_ignores_missing(self):
+        obs = Obs()
+        obs.inc("probes", path="interp", reason="translated", value=2)
+        obs.inc("probes", path="interp", reason="version_guard")
+        obs.inc("probes", path="flat")  # no reason label -> ignored
+        assert obs.by_label("probes", "reason") == {
+            "translated": 2, "version_guard": 1,
+        }
+        assert obs.by_label("probes", "path") == {"interp": 3, "flat": 1}
+
+
+class TestTimers:
+    def test_observe_accumulates_total_and_count(self):
+        obs = Obs()
+        obs.observe_s("stage.replay", 0.25)
+        obs.observe_s("stage.replay", 0.75, count=3)
+        assert obs.timers["stage.replay"] == [1.0, 4]
+
+    def test_span_records_elapsed(self):
+        obs = Obs()
+        with obs.span("work"):
+            pass
+        total, count = obs.timers["work"]
+        assert count == 1
+        assert 0.0 <= total < 1.0
+
+    def test_span_records_on_exception(self):
+        obs = Obs()
+        try:
+            with obs.span("work"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert obs.timers["work"][1] == 1
+
+
+class TestSnapshotExport:
+    def test_snapshot_shape(self):
+        obs = Obs()
+        obs.inc("probes", path="flat", value=2)
+        obs.inc("probes")
+        obs.observe_s("run", 1.5, count=2)
+        snap = obs.snapshot()
+        assert snap == {
+            "counters": {"probes": {"": 1, "path=flat": 2}},
+            "timers": {"run": {"total_s": 1.5, "count": 2}},
+        }
+
+    def test_export_json_round_trips(self, tmp_path):
+        obs = Obs()
+        obs.inc("probes", path="flat")
+        obs.observe_s("run", 0.5)
+        path = tmp_path / "obs.json"
+        obs.export_json(path)
+        assert json.loads(path.read_text()) == obs.snapshot()
+
+    def test_reset_clears_everything(self):
+        obs = Obs()
+        obs.inc("probes")
+        obs.observe_s("run", 0.5)
+        obs.reset()
+        assert obs.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_format_labels(self):
+        assert format_labels(()) == ""
+        assert format_labels((("path", "flat"), ("reason", "x"))) == \
+            "path=flat,reason=x"
+
+
+class TestNullObs:
+    def test_flags(self):
+        assert NULL_OBS.enabled is False
+        assert Obs.enabled is True
+
+    def test_all_operations_are_noops(self, tmp_path):
+        null = NullObs()
+        null.inc("probes", path="flat")
+        null.observe_s("run", 1.0)
+        null.reset()
+        null.export_json(tmp_path / "never.json")
+        assert not (tmp_path / "never.json").exists()
+        assert null.get("probes", path="flat") == 0
+        assert null.total("probes") == 0
+        assert null.by_label("probes", "path") == {}
+        assert null.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_span_is_shared_null_context(self):
+        assert NULL_OBS.span("a") is _NULL_SPAN
+        with NULL_OBS.span("a"):
+            pass
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert get_obs() is NULL_OBS
+
+    def test_using_scopes_the_swap(self):
+        obs = Obs()
+        with using(obs) as active:
+            assert active is obs
+            assert get_obs() is obs
+        assert get_obs() is NULL_OBS
+
+    def test_using_restores_on_exception(self):
+        obs = Obs()
+        try:
+            with using(obs):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_obs() is NULL_OBS
+
+    def test_set_obs_none_means_null(self):
+        previous = set_obs(None)
+        assert previous is NULL_OBS
+        assert get_obs() is NULL_OBS

@@ -1,0 +1,98 @@
+"""``repro trace``: run discovery, rendering, and the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.trace import list_runs, load_run, render_run, resolve_run
+
+
+@pytest.fixture()
+def store(tmp_path, capsys):
+    """A real single-task campaign run written through the CLI."""
+    out = tmp_path / "store"
+    assert main(["campaign", "table1", "--scale", "small",
+                 "--jobs", "1", "--output", str(out)]) == 0
+    capsys.readouterr()
+    return out
+
+
+def test_campaign_writes_obs_snapshot(store):
+    runs = list_runs(store / "runs")
+    assert len(runs) == 1
+    obs = json.loads((runs[0] / "obs.json").read_text())
+    assert obs["counters"]["campaign.tasks"] == {"status=executed": 1}
+    assert "campaign.run_s" in obs["timers"]
+    assert "campaign.task_s.table1" in obs["timers"]
+
+
+def test_campaign_output_mentions_obs_path(tmp_path, capsys):
+    out = tmp_path / "store"
+    assert main(["campaign", "table1", "--scale", "small",
+                 "--output", str(out)]) == 0
+    assert "obs:" in capsys.readouterr().out
+
+
+def test_trace_renders_latest_run(store, capsys):
+    assert main(["trace", "--output", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "[finished]" in out
+    assert "executed" in out and "table1" in out
+    assert "campaign.events{kind=task_finished}" in out
+    assert "campaign.run_s" in out
+
+
+def test_trace_list_and_explicit_run_id(store, capsys):
+    assert main(["trace", "--list", "--output", str(store)]) == 0
+    run_id = capsys.readouterr().out.strip()
+    assert run_id
+    assert main(["trace", run_id, "--output", str(store)]) == 0
+    assert f"run {run_id}" in capsys.readouterr().out
+
+
+def test_trace_json_payload(store, capsys):
+    assert main(["trace", "--json", "--output", str(store)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["manifest"]["counts"]["executed"] == 1
+    assert payload["manifest"]["pool_restarts"] == 0
+    assert any(e["event"] == "campaign_finished" for e in payload["events"])
+    assert payload["obs"]["counters"]["campaign.tasks"] == {
+        "status=executed": 1
+    }
+
+
+def test_trace_unknown_run_id_errors(store, capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "no-such-run", "--output", str(store)])
+    assert "no run" in capsys.readouterr().err
+
+
+def test_trace_empty_store_errors(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "--output", str(tmp_path / "empty")])
+    assert "no campaign runs" in capsys.readouterr().err
+
+
+def test_list_orders_by_created_at_with_unfinished_last(tmp_path):
+    runs = tmp_path / "runs"
+    # deliberately created newest-first so name order != created_at order
+    for name, created in (("b-run", 200.0), ("a-run", 100.0)):
+        d = runs / name
+        d.mkdir(parents=True)
+        (d / "manifest.json").write_text(json.dumps({"created_at": created}))
+    killed = runs / "killed"  # manifest-less: a crashed/in-flight campaign
+    killed.mkdir()
+    assert [p.name for p in list_runs(runs)] == ["a-run", "b-run", "killed"]
+    # the default trace target is the last entry -- the run still in
+    # flight (or freshly crashed) is exactly the one worth looking at
+    assert resolve_run(runs).name == "killed"
+    assert resolve_run(runs, "a-run").name == "a-run"
+
+
+def test_render_tolerates_partial_runs(tmp_path):
+    run_dir = tmp_path / "runs" / "killed"
+    run_dir.mkdir(parents=True)
+    rendered = render_run(load_run(run_dir))
+    assert "INCOMPLETE" in rendered
+    assert "(no obs.json" not in rendered  # only finished runs earn that note
